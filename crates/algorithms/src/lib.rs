@@ -1,0 +1,14 @@
+//! # itg-algorithms — the paper's evaluation algorithms (§6.1)
+//!
+//! - [`programs`]: the six analysis algorithms as `L_NGA` source text —
+//!   PageRank and Label Propagation (Group 1, matrix-vector), WCC and BFS
+//!   (Group 2, connectivity / Min-monoid), Triangle Counting and Local
+//!   Clustering Coefficient (Group 3, multi-hop NGA).
+//! - [`native`]: independent reference implementations with identical BSP
+//!   semantics, used by the test suites to validate the engine's one-shot
+//!   and incremental execution bit-for-bit.
+
+pub mod native;
+pub mod programs;
+
+pub use native::SimpleGraph;

@@ -1,0 +1,353 @@
+//! Native reference implementations of the six algorithms, written against
+//! a plain adjacency-list graph with the *exact* BSP semantics of the
+//! `L_NGA` execution model (Figure 4):
+//!
+//! 1. each superstep, active vertices traverse and accumulate;
+//! 2. after the barrier, every vertex is deactivated and Update runs only
+//!    for vertices whose accumulators were touched;
+//! 3. termination when no vertex is active (or the superstep cap hits).
+//!
+//! These run completely independently of the engine (no windows, no
+//! deltas, no partitions) and anchor the equivalence tests: the engine's
+//! one-shot results, and its incremental results after any mutation
+//! sequence, must match these bit-for-bit (the programs use integer
+//! arithmetic precisely to make that possible).
+
+use itg_gsa::VertexId;
+
+/// A plain in-memory graph for the reference implementations.
+#[derive(Debug, Clone, Default)]
+pub struct SimpleGraph {
+    pub n: usize,
+    /// Out-adjacency (for undirected graphs, mirrored).
+    pub adj: Vec<Vec<VertexId>>,
+}
+
+impl SimpleGraph {
+    /// Build from directed edges.
+    pub fn directed(n: usize, edges: &[(VertexId, VertexId)]) -> SimpleGraph {
+        let mut adj = vec![Vec::new(); n];
+        for &(s, d) in edges {
+            adj[s as usize].push(d);
+        }
+        for a in &mut adj {
+            a.sort_unstable();
+            a.dedup();
+        }
+        SimpleGraph { n, adj }
+    }
+
+    /// Build from undirected edges (each pair listed once or twice).
+    pub fn undirected(n: usize, edges: &[(VertexId, VertexId)]) -> SimpleGraph {
+        let mut all = Vec::with_capacity(edges.len() * 2);
+        for &(s, d) in edges {
+            if s != d {
+                all.push((s, d));
+                all.push((d, s));
+            }
+        }
+        SimpleGraph::directed(n, &all)
+    }
+
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    pub fn has_edge(&self, s: VertexId, d: VertexId) -> bool {
+        self.adj[s as usize].binary_search(&d).is_ok()
+    }
+}
+
+/// Integer PageRank (scale 1000), matching [`crate::programs::PAGERANK`].
+/// `graph.adj` is the *out*-adjacency. Runs at most `max_supersteps`.
+pub fn pagerank(graph: &SimpleGraph, max_supersteps: usize) -> Vec<i64> {
+    let n = graph.n;
+    let mut rank = vec![1000i64; n];
+    let mut active = vec![true; n];
+    for _ in 0..max_supersteps {
+        if !active.iter().any(|&a| a) {
+            break;
+        }
+        let mut sum = vec![0i64; n];
+        let mut touched = vec![false; n];
+        for v in 0..n {
+            if active[v] && graph.degree(v as u64) > 0 {
+                let val = rank[v] / graph.degree(v as u64) as i64;
+                for &d in &graph.adj[v] {
+                    sum[d as usize] += val;
+                    touched[d as usize] = true;
+                }
+            }
+        }
+        active.iter_mut().for_each(|a| *a = false);
+        for v in 0..n {
+            if touched[v] {
+                let val = 150 + (850 * sum[v]) / 1000;
+                if (val - rank[v]).abs() > 0 {
+                    rank[v] = val;
+                    active[v] = true;
+                }
+            }
+        }
+    }
+    rank
+}
+
+/// Integer Label Propagation matching [`crate::programs::LABEL_PROP`]
+/// (undirected graph).
+pub fn label_prop(graph: &SimpleGraph, max_supersteps: usize) -> Vec<i64> {
+    let n = graph.n;
+    let seed = |v: usize| (v as i64 % 97) * 10;
+    let mut label: Vec<i64> = (0..n).map(seed).collect();
+    let mut active = vec![true; n];
+    for _ in 0..max_supersteps {
+        if !active.iter().any(|&a| a) {
+            break;
+        }
+        let mut sum = vec![0i64; n];
+        let mut touched = vec![false; n];
+        for v in 0..n {
+            if active[v] && graph.degree(v as u64) > 0 {
+                let val = label[v] / graph.degree(v as u64) as i64;
+                for &d in &graph.adj[v] {
+                    sum[d as usize] += val;
+                    touched[d as usize] = true;
+                }
+            }
+        }
+        active.iter_mut().for_each(|a| *a = false);
+        for v in 0..n {
+            if touched[v] {
+                let val = (900 * sum[v]) / 1000 + (seed(v) * 100) / 1000;
+                if (val - label[v]).abs() > 0 {
+                    label[v] = val;
+                    active[v] = true;
+                }
+            }
+        }
+    }
+    label
+}
+
+/// WCC by min-label propagation, matching [`crate::programs::WCC`].
+pub fn wcc(graph: &SimpleGraph) -> Vec<i64> {
+    let n = graph.n;
+    let mut comp: Vec<i64> = (0..n as i64).collect();
+    let mut active = vec![true; n];
+    while active.iter().any(|&a| a) {
+        let mut m = vec![i64::MAX; n];
+        let mut touched = vec![false; n];
+        for v in 0..n {
+            if active[v] {
+                for &d in &graph.adj[v] {
+                    m[d as usize] = m[d as usize].min(comp[v]);
+                    touched[d as usize] = true;
+                }
+            }
+        }
+        active.iter_mut().for_each(|a| *a = false);
+        for v in 0..n {
+            if touched[v] && m[v] < comp[v] {
+                comp[v] = m[v];
+                active[v] = true;
+            }
+        }
+    }
+    comp
+}
+
+/// BFS distances from `root`, matching [`crate::programs::bfs`]
+/// (unreached = [`crate::programs::BFS_INF`]).
+pub fn bfs(graph: &SimpleGraph, root: VertexId) -> Vec<i64> {
+    let n = graph.n;
+    let inf = crate::programs::BFS_INF;
+    let mut dist = vec![inf; n];
+    let mut active = vec![false; n];
+    if (root as usize) < n {
+        dist[root as usize] = 0;
+        active[root as usize] = true;
+    }
+    while active.iter().any(|&a| a) {
+        let mut m = vec![i64::MAX; n];
+        let mut touched = vec![false; n];
+        for v in 0..n {
+            if active[v] {
+                for &d in &graph.adj[v] {
+                    m[d as usize] = m[d as usize].min(dist[v] + 1);
+                    touched[d as usize] = true;
+                }
+            }
+        }
+        active.iter_mut().for_each(|a| *a = false);
+        for v in 0..n {
+            if touched[v] && m[v] < dist[v] {
+                dist[v] = m[v];
+                active[v] = true;
+            }
+        }
+    }
+    dist
+}
+
+/// Total triangle count of an undirected graph (each counted once).
+pub fn triangle_count(graph: &SimpleGraph) -> i64 {
+    let mut count = 0i64;
+    for u in 0..graph.n as u64 {
+        for &v in &graph.adj[u as usize] {
+            if v <= u {
+                continue;
+            }
+            for &w in &graph.adj[v as usize] {
+                if w > v && graph.has_edge(w, u) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Per-vertex triangle counts of an undirected graph.
+pub fn triangles_per_vertex(graph: &SimpleGraph) -> Vec<i64> {
+    let mut tri = vec![0i64; graph.n];
+    for u in 0..graph.n as u64 {
+        let adj = &graph.adj[u as usize];
+        for (i, &v) in adj.iter().enumerate() {
+            for &w in &adj[i + 1..] {
+                if graph.has_edge(v, w) {
+                    tri[u as usize] += 1;
+                }
+            }
+        }
+    }
+    tri
+}
+
+/// Integer LCC (scale 1000) matching [`crate::programs::LCC`]: vertices
+/// with no triangle contributions keep 0 (Update only runs for touched
+/// vertices under the BSP semantics).
+pub fn lcc(graph: &SimpleGraph) -> Vec<i64> {
+    let tri = triangles_per_vertex(graph);
+    (0..graph.n)
+        .map(|v| {
+            let d = graph.degree(v as u64) as i64;
+            if tri[v] > 0 && d > 1 {
+                (2000 * tri[v]) / (d * (d - 1))
+            } else {
+                0
+            }
+        })
+        .collect()
+}
+
+/// Two-hop reach matching [`crate::programs::REACH2`]: walks u→v→w with
+/// w ≠ u. Vertices with no such walks keep 0 (untouched under BSP
+/// semantics).
+pub fn reach2(graph: &SimpleGraph) -> Vec<i64> {
+    (0..graph.n)
+        .map(|u| {
+            graph.adj[u]
+                .iter()
+                .map(|&v| {
+                    graph.adj[v as usize]
+                        .iter()
+                        .filter(|&&w| w != u as VertexId)
+                        .count() as i64
+                })
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's G_0 (Figure 6).
+    fn g0() -> SimpleGraph {
+        SimpleGraph::undirected(
+            8,
+            &[
+                (0, 1),
+                (0, 5),
+                (1, 5),
+                (2, 3),
+                (2, 5),
+                (3, 4),
+                (4, 5),
+                (6, 7),
+            ],
+        )
+    }
+
+    #[test]
+    fn triangle_counts_on_paper_graph() {
+        let g = g0();
+        assert_eq!(triangle_count(&g), 1);
+        let tri = triangles_per_vertex(&g);
+        assert_eq!(tri[0], 1);
+        assert_eq!(tri[1], 1);
+        assert_eq!(tri[5], 1);
+        assert_eq!(tri[2], 0);
+        // After inserting (3,5) — the paper's ΔG_1 — two more triangles.
+        let g1 = SimpleGraph::undirected(
+            8,
+            &[
+                (0, 1),
+                (0, 5),
+                (1, 5),
+                (2, 3),
+                (2, 5),
+                (3, 4),
+                (3, 5),
+                (4, 5),
+                (6, 7),
+            ],
+        );
+        assert_eq!(triangle_count(&g1), 3);
+    }
+
+    #[test]
+    fn wcc_finds_two_components() {
+        let comp = wcc(&g0());
+        assert!(comp[..6].iter().all(|&c| c == 0));
+        assert_eq!(comp[6], 6);
+        assert_eq!(comp[7], 6);
+    }
+
+    #[test]
+    fn bfs_distances() {
+        let dist = bfs(&g0(), 0);
+        assert_eq!(dist[0], 0);
+        assert_eq!(dist[1], 1);
+        assert_eq!(dist[5], 1);
+        assert_eq!(dist[2], 2);
+        assert_eq!(dist[3], 3);
+        assert_eq!(dist[6], crate::programs::BFS_INF);
+    }
+
+    #[test]
+    fn pagerank_converges_and_is_deterministic() {
+        let g = SimpleGraph::directed(4, &[(0, 1), (1, 2), (2, 0), (3, 0)]);
+        let r1 = pagerank(&g, 10);
+        let r2 = pagerank(&g, 10);
+        assert_eq!(r1, r2);
+        // The 3-cycle members hold more rank than the dangling feeder.
+        assert!(r1[0] > r1[3]);
+    }
+
+    #[test]
+    fn lcc_of_a_clique_is_1000() {
+        let g = SimpleGraph::undirected(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(lcc(&g), vec![1000; 4]);
+        // A star has no triangles: all zeros.
+        let star = SimpleGraph::undirected(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(lcc(&star), vec![0; 4]);
+    }
+
+    #[test]
+    fn label_prop_deterministic() {
+        let g = g0();
+        assert_eq!(label_prop(&g, 10), label_prop(&g, 10));
+    }
+}

@@ -1,0 +1,23 @@
+//! # itg-baselines — the paper's comparison systems, reimplemented (§6.1)
+//!
+//! - [`dd_iterative`]: a Differential-Dataflow-style incremental engine
+//!   for the Group 1/2 algorithms — per-iteration arranged message and
+//!   aggregation state, delta-joins for updates.
+//! - [`dd_tc`]: the DD self-join formulation of Triangle Counting with the
+//!   maintained wedge arrangement whose O(Σ deg²) size is the paper's
+//!   Group 3 scalability headline.
+//! - [`graphbolt`]: a GraphBolt-style dependency-driven refinement engine
+//!   for PR/LP (Table 6), with the transitive (non-value-pruned) affected
+//!   set the paper contrasts against.
+//! - [`memory`]: byte-accounted budgets so the OOM behaviour of the real
+//!   systems is reproducible at laptop scale.
+
+pub mod dd_iterative;
+pub mod dd_tc;
+pub mod graphbolt;
+pub mod memory;
+
+pub use dd_iterative::{AggKind, DdIterative, ValueRule};
+pub use dd_tc::DdTriangles;
+pub use graphbolt::GraphBolt;
+pub use memory::{MemoryBudget, OutOfMemory};

@@ -1,0 +1,105 @@
+//! Memory budget accounting for the baseline engines.
+//!
+//! The paper's cluster machines have 64 GB each, and Differential
+//! Dataflow's strategy of arranging all intermediate state in memory is
+//! what makes it crash with OOM on NGA workloads (§6.2). The baselines
+//! here account every arranged entry against a configurable budget and
+//! fail exactly the way the real system does — so the experiment harness
+//! can reproduce the O/T/F failure markers of Figure 12.
+
+use std::fmt;
+
+/// A byte budget with running usage.
+#[derive(Debug, Clone)]
+pub struct MemoryBudget {
+    limit: u64,
+    used: u64,
+    peak: u64,
+}
+
+/// The out-of-memory failure, carrying what was used when the limit hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfMemory {
+    pub used: u64,
+    pub limit: u64,
+}
+
+impl fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of memory: {} bytes requested against a {} byte budget",
+            self.used, self.limit
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+impl MemoryBudget {
+    pub fn new(limit: u64) -> MemoryBudget {
+        MemoryBudget {
+            limit,
+            used: 0,
+            peak: 0,
+        }
+    }
+
+    /// An effectively unlimited budget.
+    pub fn unlimited() -> MemoryBudget {
+        MemoryBudget::new(u64::MAX)
+    }
+
+    pub fn alloc(&mut self, bytes: u64) -> Result<(), OutOfMemory> {
+        self.used += bytes;
+        self.peak = self.peak.max(self.used);
+        if self.used > self.limit {
+            Err(OutOfMemory {
+                used: self.used,
+                limit: self.limit,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    pub fn free(&mut self, bytes: u64) {
+        self.used = self.used.saturating_sub(bytes);
+    }
+
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_usage_and_peak() {
+        let mut b = MemoryBudget::new(100);
+        b.alloc(60).unwrap();
+        b.free(20);
+        b.alloc(40).unwrap();
+        assert_eq!(b.used(), 80);
+        assert_eq!(b.peak(), 80);
+    }
+
+    #[test]
+    fn fails_over_limit() {
+        let mut b = MemoryBudget::new(100);
+        b.alloc(90).unwrap();
+        let err = b.alloc(20).unwrap_err();
+        assert_eq!(err.limit, 100);
+        assert_eq!(err.used, 110);
+    }
+}

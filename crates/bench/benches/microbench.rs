@@ -1,0 +1,168 @@
+//! Criterion microbenchmarks for the core data structures and the hot
+//! execution paths: walk enumeration (one-shot and Δ), store operations,
+//! accumulate variants, the compiler front end, and the baselines'
+//! arrangement layer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use itg_baselines::{DdTriangles, MemoryBudget};
+use itg_bench::Dataset;
+use iturbograph::graphgen::{generate, RmatConfig};
+use iturbograph::gsa::value::{ColumnData, PrimType, ValueType};
+use iturbograph::prelude::*;
+use iturbograph::store::{AttrStore, IoStats, MaintenancePolicy};
+
+fn bench_walk_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walk_enumeration");
+    for x in [10u32, 12] {
+        let ds = Dataset::rmat_undirected("b", x, 42);
+        group.bench_with_input(BenchmarkId::new("tc_oneshot", x), &ds, |b, ds| {
+            b.iter(|| {
+                let mut s = Session::from_source(
+                    iturbograph::algorithms::TRIANGLE_COUNT,
+                    &ds.graph_input(),
+                    EngineConfig::default(),
+                )
+                .unwrap();
+                s.run_oneshot();
+                s.global_value("cnts", None).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_delta_walks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delta_walks");
+    group.sample_size(20);
+    for (label, opts) in [("base", OptFlags::none()), ("optimized", OptFlags::default())] {
+        group.bench_function(BenchmarkId::new("tc_incremental", label), |b| {
+            b.iter_batched(
+                || {
+                    let mut ds = Dataset::rmat_undirected("b", 11, 7);
+                    let mut cfg = EngineConfig::default();
+                    cfg.opts = opts;
+                    let mut s = Session::from_source(
+                        iturbograph::algorithms::TRIANGLE_COUNT,
+                        &ds.graph_input(),
+                        cfg,
+                    )
+                    .unwrap();
+                    s.run_oneshot();
+                    let batch = ds.next_batch(50, 75);
+                    (s, batch)
+                },
+                |(mut s, batch)| {
+                    s.apply_mutations(&batch);
+                    s.run_incremental()
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+    group.bench_function("attr_store_record_and_load", |b| {
+        b.iter(|| {
+            let mut st = AttrStore::new(
+                vec![ValueType::Prim(PrimType::Long)],
+                4096,
+                MaintenancePolicy::CostBased,
+                IoStats::new(),
+            );
+            for t in 0..20usize {
+                let vids: Vec<u32> = (0..128).map(|i| (i * 13 + t as u32) % 4096).collect();
+                let col = ColumnData::Long(vids.iter().map(|&v| v as i64).collect());
+                st.record_run(t, 1, vids, vec![col]);
+            }
+            let mut arr = st.materialize_init();
+            st.load_superstep(1, &mut arr);
+            arr[0].len()
+        });
+    });
+    group.bench_function("edge_store_scan", |b| {
+        let cfg = RmatConfig::paper_scale(13, 3);
+        let edges = generate(&cfg);
+        let input = GraphInput::directed(edges);
+        let g = iturbograph::engine::ClusterGraph::load(&input, 1, 16 << 20, 4096);
+        b.iter(|| {
+            let mut total = 0u64;
+            for v in 0..g.num_vertices() as u64 {
+                g.for_each_neighbor(
+                    0,
+                    v,
+                    iturbograph::gsa::EdgeDir::Out,
+                    iturbograph::store::View::New,
+                    |_| total += 1,
+                );
+            }
+            total
+        });
+    });
+    group.finish();
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    c.bench_function("compile_triangle_counting", |b| {
+        b.iter(|| compile_source(iturbograph::algorithms::TRIANGLE_COUNT).unwrap());
+    });
+    c.bench_function("compile_pagerank", |b| {
+        b.iter(|| compile_source(iturbograph::algorithms::PAGERANK).unwrap());
+    });
+}
+
+fn bench_accumulate(c: &mut Criterion) {
+    use iturbograph::gsa::accm::{AccmOp, CountedAccm};
+    use iturbograph::gsa::Value;
+    let mut group = c.benchmark_group("accumulate");
+    group.bench_function("sum_fold_10k", |b| {
+        b.iter(|| {
+            let mut acc = Value::Long(0);
+            for i in 0..10_000i64 {
+                acc = AccmOp::Sum.combine(&acc, &Value::Long(i), PrimType::Long);
+            }
+            acc
+        });
+    });
+    group.bench_function("counted_min_10k", |b| {
+        b.iter(|| {
+            let mut acc = CountedAccm::identity(AccmOp::Min, PrimType::Long);
+            for i in (0..10_000i64).rev() {
+                acc.insert(AccmOp::Min, PrimType::Long, &Value::Long(i % 977));
+            }
+            acc.count
+        });
+    });
+    group.finish();
+}
+
+fn bench_baseline_arrangement(c: &mut Criterion) {
+    c.bench_function("dd_wedge_arrangement_rmat10", |b| {
+        let ds = Dataset::rmat_undirected("b", 10, 5);
+        b.iter(|| {
+            let mut dd = DdTriangles::new(MemoryBudget::unlimited());
+            dd.initial(ds.n, &ds.initial).unwrap();
+            dd.wedge_entries()
+        });
+    });
+}
+
+fn bench_graphgen(c: &mut Criterion) {
+    c.bench_function("rmat_generate_2e14", |b| {
+        b.iter(|| generate(&RmatConfig::paper_scale(14, 9)).len());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_walk_enumeration,
+    bench_delta_walks,
+    bench_store,
+    bench_compiler,
+    bench_accumulate,
+    bench_baseline_arrangement,
+    bench_graphgen,
+);
+criterion_main!(benches);

@@ -1,0 +1,569 @@
+//! The experiment harness: one subcommand per table/figure of the paper's
+//! evaluation (§6). Run `expt all` to regenerate everything; see
+//! EXPERIMENTS.md for the paper-vs-measured record.
+//!
+//! ```text
+//! cargo run --release -p itg-bench --bin expt -- <table6|fig12|fig13|fig14|
+//!     fig15a|fig15b|fig16a|fig16b|fig17|all>
+//! ```
+
+use itg_baselines::{DdIterative, DdTriangles, GraphBolt, MemoryBudget, ValueRule};
+use itg_bench::*;
+use iturbograph::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(|s| s.as_str()).unwrap_or("all");
+    match which {
+        "table6" => table6(),
+        "fig12" => fig12(),
+        "fig13" => fig13(),
+        "fig14" => fig14(),
+        "fig15a" => fig15a(),
+        "fig15b" => fig15b(),
+        "fig16a" => fig16a(),
+        "fig16b" => fig16b(),
+        "fig17" => fig17(),
+        "all" => {
+            table6();
+            fig12();
+            fig13();
+            fig14();
+            fig15a();
+            fig15b();
+            fig16a();
+            fig16b();
+            fig17();
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            std::process::exit(2);
+        }
+    }
+}
+
+const BATCHES: usize = 4;
+const BATCH_SIZE: usize = 100;
+const RATIO: u32 = 75;
+
+fn single_machine_cfg(algo: &str) -> EngineConfig {
+    EngineConfig {
+        machines: 1,
+        max_supersteps: superstep_cap(algo),
+        ..EngineConfig::default()
+    }
+}
+
+fn cluster_cfg(algo: &str, machines: usize) -> EngineConfig {
+    EngineConfig {
+        machines,
+        parallel: true,
+        max_supersteps: superstep_cap(algo),
+        ..EngineConfig::default()
+    }
+}
+
+/// Table 6: single-machine PR and LP — one-shot and incremental execution
+/// times, iTurboGraph vs GraphBolt, at the TWT-analogue graph.
+fn table6() {
+    let mut rows = Vec::new();
+    for (algo, src, rule) in [
+        ("PR", iturbograph::algorithms::PAGERANK, ValueRule::PageRank),
+        ("LP", iturbograph::algorithms::LABEL_PROP, ValueRule::LabelProp),
+    ] {
+        let mut ds = if algo == "PR" {
+            Dataset::rmat_directed("TWT*", 17, 61)
+        } else {
+            Dataset::rmat_undirected("TWT*", 17, 61)
+        };
+
+        // GraphBolt path (it consumes directed mirrored edges).
+        let gb_edges = if ds.undirected {
+            Dataset::mirrored(&ds.initial)
+        } else {
+            ds.initial.clone()
+        };
+        let mut gb = GraphBolt::new(rule, 10, MemoryBudget::unlimited());
+        let t0 = std::time::Instant::now();
+        gb.initial(ds.n, &gb_edges).expect("GrB fits in memory at TWT*");
+        let gb_one = t0.elapsed().as_secs_f64();
+
+        // iTurboGraph path (shares the same mutation stream).
+        let mut session = Session::from_source(
+            src,
+            &ds.graph_input(),
+            single_machine_cfg(if algo == "PR" { "pr" } else { "lp" }),
+        )
+        .unwrap();
+        let itbgpp_one = session.run_oneshot().secs();
+
+        let mut gb_inc = 0.0;
+        let mut itbgpp_inc = 0.0;
+        for _ in 0..BATCHES {
+            let batch = ds.next_batch(BATCH_SIZE, RATIO);
+            let (ins, del): (Vec<_>, Vec<_>) = {
+                let mut ins = Vec::new();
+                let mut del = Vec::new();
+                for m in &batch.edges {
+                    let pairs: Vec<(u64, u64)> = if ds.undirected {
+                        vec![(m.src, m.dst), (m.dst, m.src)]
+                    } else {
+                        vec![(m.src, m.dst)]
+                    };
+                    if m.is_insert() {
+                        ins.extend(pairs);
+                    } else {
+                        del.extend(pairs);
+                    }
+                }
+                (ins, del)
+            };
+            let t0 = std::time::Instant::now();
+            gb.delta(&ins, &del).unwrap();
+            gb_inc += t0.elapsed().as_secs_f64();
+
+            session.apply_mutations(&batch);
+            itbgpp_inc += session.run_incremental().secs();
+        }
+        gb_inc /= BATCHES as f64;
+        itbgpp_inc /= BATCHES as f64;
+
+        rows.push(vec![
+            algo.to_string(),
+            "GrB".to_string(),
+            format!("{gb_one:.4}"),
+            format!("{gb_inc:.4}"),
+            format!("{:.2}", gb_inc / gb_one.max(1e-12)),
+        ]);
+        rows.push(vec![
+            algo.to_string(),
+            "iTbGpp".to_string(),
+            format!("{itbgpp_one:.4}"),
+            format!("{itbgpp_inc:.4}"),
+            format!("{:.2}", itbgpp_inc / itbgpp_one.max(1e-12)),
+        ]);
+    }
+    print_table(
+        "Table 6: single-machine execution times at TWT* [sec]",
+        &["algo", "system", "one-shot", "incremental", "inc/one-shot"],
+        &rows,
+    );
+}
+
+/// Figure 12: execution times of all six algorithms across the real-graph
+/// ladder on the simulated cluster, iTurboGraph vs DD (O = out of memory).
+fn fig12() {
+    let machines = 5;
+    let mut rows = Vec::new();
+    for algo in ["pr", "lp", "wcc", "bfs", "tc", "lcc"] {
+        for &(gname, x) in REAL_GRAPHS {
+            let seed = 100 + x as u64;
+            let mut ds = if algo == "pr" {
+                Dataset::rmat_directed(gname, x, seed)
+            } else {
+                Dataset::rmat_undirected(gname, x, seed)
+            };
+            let src = iturbograph::algorithms::source(algo).unwrap();
+            let r = run_itbgpp(
+                &mut ds,
+                &src,
+                cluster_cfg(algo, machines),
+                BATCHES,
+                BATCH_SIZE,
+                RATIO,
+            );
+            let (dd_one, dd_inc) = run_dd(algo, &ds);
+            rows.push(vec![
+                algo.to_uppercase(),
+                gname.to_string(),
+                format!("{}", ds.num_edges()),
+                format!("{:.4}", r.one_shot.secs()),
+                format!("{:.4}", r.mean_incremental_secs()),
+                format!("{dd_one}"),
+                format!("{dd_inc}"),
+                format!("{:.1}x", r.speedup()),
+            ]);
+        }
+    }
+    print_table(
+        &format!("Figure 12: real-graph ladder on {machines} machines [sec]"),
+        &[
+            "algo", "graph", "|E|", "iTbGpp-1shot", "iTbGpp-inc", "DD-1shot", "DD-inc",
+            "inc-speedup",
+        ],
+        &rows,
+    );
+}
+
+/// Run the appropriate DD baseline over the dataset's *final* pre-batch
+/// state: one-shot on G_0 and one delta batch.
+fn run_dd(algo: &str, ds: &Dataset) -> (Cell, Cell) {
+    let edges: Vec<(u64, u64)> = if ds.undirected {
+        Dataset::mirrored(&ds.initial)
+    } else {
+        ds.initial.clone()
+    };
+    match algo {
+        "tc" | "lcc" => {
+            // DD's self-join formulation; LCC shares the wedge arrangement.
+            let mut dd = DdTriangles::new(MemoryBudget::new(DD_BUDGET));
+            let t0 = std::time::Instant::now();
+            match dd.initial(ds.n, &ds.initial) {
+                Ok(()) => {
+                    let one = t0.elapsed().as_secs_f64();
+                    let muts: Vec<(u64, u64, i64)> = ds
+                        .alive_edges()
+                        .iter()
+                        .take(BATCH_SIZE)
+                        .map(|&(a, b)| (a, b, -1))
+                        .collect();
+                    let t0 = std::time::Instant::now();
+                    match dd.delta(&muts) {
+                        Ok(()) => (Cell::Secs(one), Cell::Secs(t0.elapsed().as_secs_f64())),
+                        Err(_) => (Cell::Secs(one), Cell::Oom),
+                    }
+                }
+                Err(_) => (Cell::Oom, Cell::Oom),
+            }
+        }
+        _ => {
+            let rule = match algo {
+                "pr" => ValueRule::PageRank,
+                "lp" => ValueRule::LabelProp,
+                "wcc" => ValueRule::Wcc,
+                "bfs" => ValueRule::Bfs { root: 0 },
+                _ => unreachable!(),
+            };
+            let mut dd = DdIterative::new(rule, dd_iterations(algo), MemoryBudget::new(DD_BUDGET));
+            let t0 = std::time::Instant::now();
+            match dd.initial(ds.n, &edges) {
+                Ok(()) => {
+                    let one = t0.elapsed().as_secs_f64();
+                    // One delta batch: delete a slice of alive edges.
+                    let del: Vec<(u64, u64)> = ds
+                        .alive_edges()
+                        .iter()
+                        .take(BATCH_SIZE / 2)
+                        .flat_map(|&(a, b)| {
+                            if ds.undirected {
+                                vec![(a, b), (b, a)]
+                            } else {
+                                vec![(a, b)]
+                            }
+                        })
+                        .collect();
+                    let t0 = std::time::Instant::now();
+                    match dd.delta(&[], &del) {
+                        Ok(()) => (Cell::Secs(one), Cell::Secs(t0.elapsed().as_secs_f64())),
+                        Err(_) => (Cell::Secs(one), Cell::Oom),
+                    }
+                }
+                Err(_) => (Cell::Oom, Cell::Oom),
+            }
+        }
+    }
+}
+
+/// Figure 13: execution times varying RMAT size (PR and TC), with DD's
+/// OOM wall.
+fn fig13() {
+    let mut rows = Vec::new();
+    for (algo, xs) in [("pr", 13..=18u32), ("tc", 12..=17u32)] {
+        for x in xs {
+            let seed = 200 + x as u64;
+            let mut ds = if algo == "pr" {
+                Dataset::rmat_directed(&format!("RMAT_{x}"), x, seed)
+            } else {
+                Dataset::rmat_undirected(&format!("RMAT_{x}"), x, seed)
+            };
+            let src = iturbograph::algorithms::source(algo).unwrap();
+            let batch_size = BATCH_SIZE.min(ds.num_edges() / 10);
+            let r = run_itbgpp(&mut ds, &src, cluster_cfg(algo, 5), BATCHES, batch_size, RATIO);
+            let (dd_one, dd_inc) = run_dd(algo, &ds);
+            rows.push(vec![
+                algo.to_uppercase(),
+                format!("RMAT_{x}"),
+                format!("{}", ds.num_edges()),
+                format!("{:.4}", r.one_shot.secs()),
+                format!("{:.4}", r.mean_incremental_secs()),
+                format!("{dd_one}"),
+                format!("{dd_inc}"),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 13: varying RMAT size on 5 machines [sec]",
+        &["algo", "graph", "|E|", "iTbGpp-1shot", "iTbGpp-inc", "DD-1shot", "DD-inc"],
+        &rows,
+    );
+}
+
+/// Figure 14: varying the simulated machine count at the largest RMAT.
+fn fig14() {
+    let x = 17;
+    let mut rows = Vec::new();
+    for algo in ["pr", "tc"] {
+        for machines in [5usize, 10, 15, 20, 25] {
+            let seed = 300 + machines as u64;
+            let mut ds = if algo == "pr" {
+                Dataset::rmat_directed(&format!("RMAT_{x}"), x, seed)
+            } else {
+                Dataset::rmat_undirected(&format!("RMAT_{x}"), x, seed)
+            };
+            let src = iturbograph::algorithms::source(algo).unwrap();
+            let r = run_itbgpp(
+                &mut ds,
+                &src,
+                cluster_cfg(algo, machines),
+                BATCHES,
+                BATCH_SIZE,
+                RATIO,
+            );
+            // On a single-core host the simulated workers cannot deliver
+            // wall-clock parallelism; the machine-scaling effects that
+            // survive the substitution are the per-machine work share and
+            // the network volume (see EXPERIMENTS.md).
+            rows.push(vec![
+                algo.to_uppercase(),
+                format!("{machines}"),
+                format!("{:.4}", r.one_shot.secs()),
+                format!("{:.4}", r.mean_incremental_secs()),
+                format!("{}", r.one_shot.io.walks_enumerated / machines as u64),
+                format!("{}", r.one_shot.io.net_bytes),
+            ]);
+        }
+    }
+    print_table(
+        &format!("Figure 14: varying machines at RMAT_{x}"),
+        &[
+            "algo",
+            "machines",
+            "one-shot [s]",
+            "incremental [s]",
+            "walks/machine",
+            "net bytes",
+        ],
+        &rows,
+    );
+}
+
+/// Figure 15 (a): normalized incremental time vs insert:delete ratio.
+fn fig15a() {
+    let ratios: [(u32, &str); 5] = [
+        (100, "100:0"),
+        (75, "75:25"),
+        (50, "50:50"),
+        (25, "25:75"),
+        (0, "0:100"),
+    ];
+    let mut rows = Vec::new();
+    for algo in ["pr", "wcc", "tc"] {
+        let mut base_time = None;
+        let mut row = vec![algo.to_uppercase()];
+        for (pct, _label) in ratios {
+            let seed = 400 + pct as u64;
+            let mut ds = if algo == "pr" {
+                Dataset::twt_upscaled_directed("TWT25*", 14, 4, seed)
+            } else {
+                Dataset::twt_upscaled("TWT25*", 14, 4, seed)
+            };
+            let src = iturbograph::algorithms::source(algo).unwrap();
+            let r = run_itbgpp(&mut ds, &src, cluster_cfg(algo, 4), BATCHES, BATCH_SIZE, pct);
+            let t = r.mean_incremental_secs();
+            let base = *base_time.get_or_insert(t);
+            row.push(format!("{:.2}", t / base));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 15 (a): incremental time normalized to the insertion-only workload",
+        &["algo", "100:0", "75:25", "50:50", "25:75", "0:100"],
+        &rows,
+    );
+}
+
+/// Figure 15 (b): throughput (mutations/sec) vs batch size, normalized to
+/// the smallest batch.
+fn fig15b() {
+    let sizes = [10usize, 50, 200, 1000, 4000];
+    let mut rows = Vec::new();
+    for algo in ["pr", "wcc", "tc"] {
+        let mut base = None;
+        let mut row = vec![algo.to_uppercase()];
+        for &size in &sizes {
+            let seed = 500 + size as u64;
+            let mut ds = if algo == "pr" {
+                Dataset::twt_upscaled_directed("TWT25*", 14, 4, seed)
+            } else {
+                Dataset::twt_upscaled("TWT25*", 14, 4, seed)
+            };
+            let src = iturbograph::algorithms::source(algo).unwrap();
+            let r = run_itbgpp(&mut ds, &src, cluster_cfg(algo, 4), 2, size, RATIO);
+            let throughput = size as f64 / r.mean_incremental_secs().max(1e-12);
+            let b = *base.get_or_insert(throughput);
+            row.push(format!("{:.1}", throughput / b));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 15 (b): throughput vs |ΔG|, normalized to the smallest batch",
+        &["algo", "10", "50", "200", "1000", "4000"],
+        &rows,
+    );
+}
+
+/// Figure 16 (a): optimization ablation for the multi-hop NGA (TC, LCC) —
+/// speedup of each incremental configuration over the one-shot query.
+fn fig16a() {
+    let configs: [(&str, OptFlags); 4] = [
+        ("BASE", OptFlags::none()),
+        (
+            "TR",
+            OptFlags {
+                traversal_reorder: true,
+                ..OptFlags::none()
+            },
+        ),
+        (
+            "TR+NP",
+            OptFlags {
+                traversal_reorder: true,
+                neighbor_prune: true,
+                ..OptFlags::none()
+            },
+        ),
+        ("TR+NP+SWS", OptFlags::default()),
+    ];
+    let mut rows = Vec::new();
+    for algo in ["tc", "lcc"] {
+        for (label, opts) in configs {
+            let mut ds = Dataset::twt_upscaled("TWT25*", 14, 4, 600);
+            let src = iturbograph::algorithms::source(algo).unwrap();
+            let mut cfg = cluster_cfg(algo, 4);
+            cfg.opts = opts;
+            // A smaller pool stresses the IO-sharing effect of SWS.
+            cfg.buffer_pool_bytes = 256 << 10;
+            let r = run_itbgpp(&mut ds, &src, cfg, BATCHES, BATCH_SIZE, RATIO);
+            rows.push(vec![
+                algo.to_uppercase(),
+                label.to_string(),
+                format!("{:.4}", r.one_shot.secs()),
+                format!("{:.4}", r.mean_incremental_secs()),
+                format!("{:.1}x", r.speedup()),
+                format!(
+                    "{}",
+                    r.incremental.iter().map(|m| m.io.walks_enumerated).sum::<u64>()
+                        / r.incremental.len() as u64
+                ),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 16 (a): Δ-walk optimization ablation (speedup over one-shot)",
+        &["algo", "opts", "one-shot", "incremental", "speedup", "Δ-walks"],
+        &rows,
+    );
+}
+
+/// Figure 16 (b): the MIN-with-counting (CNT) optimization for WCC and BFS
+/// across insert:delete ratios.
+fn fig16b() {
+    let ratios: [(u32, &str); 3] = [(100, "100:0"), (50, "50:50"), (0, "0:100")];
+    let mut rows = Vec::new();
+    for algo in ["wcc", "bfs"] {
+        for (pct, label) in ratios {
+            let mut times = Vec::new();
+            let mut recomputes = Vec::new();
+            for cnt in [false, true] {
+                let seed = 700 + pct as u64;
+                let mut ds = Dataset::twt_upscaled("TWT25*", 14, 4, seed);
+                let src = iturbograph::algorithms::source(algo).unwrap();
+                let mut cfg = cluster_cfg(algo, 4);
+                cfg.opts.min_count = cnt;
+                let r = run_itbgpp(&mut ds, &src, cfg, BATCHES, BATCH_SIZE, pct);
+                times.push(r.mean_incremental_secs());
+                recomputes.push(
+                    r.incremental.iter().map(|m| m.recomputed_vertices).sum::<u64>(),
+                );
+            }
+            rows.push(vec![
+                algo.to_uppercase(),
+                label.to_string(),
+                format!("{:.4}", times[0]),
+                format!("{:.4}", times[1]),
+                format!("{:.2}x", times[0] / times[1].max(1e-12)),
+                format!("{}", recomputes[0]),
+                format!("{}", recomputes[1]),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 16 (b): CNT optimization speedup (Min recompute avoidance)",
+        &[
+            "algo",
+            "ins:del",
+            "no-CNT [s]",
+            "CNT [s]",
+            "speedup",
+            "recomp(no-CNT)",
+            "recomp(CNT)",
+        ],
+        &rows,
+    );
+}
+
+/// Figure 17: incremental PR and LP over many snapshots under the three
+/// delta-maintenance strategies.
+fn fig17() {
+    let snapshots = 120;
+    let policies: [(&str, MaintenancePolicy); 3] = [
+        ("NoMerge", MaintenancePolicy::NoMerge),
+        ("Periodic(60)", MaintenancePolicy::Periodic(60)),
+        ("Cost", MaintenancePolicy::CostBased),
+    ];
+    let mut rows = Vec::new();
+    for algo in ["pr", "lp"] {
+        for (label, policy) in policies {
+            let seed = 800;
+            let mut ds = if algo == "pr" {
+                Dataset::rmat_directed("TWT*", 15, seed)
+            } else {
+                Dataset::rmat_undirected("TWT*", 15, seed)
+            };
+            let src = iturbograph::algorithms::source(algo).unwrap();
+            let mut cfg = single_machine_cfg(algo);
+            cfg.maintenance = policy;
+            let mut session =
+                Session::from_source(&src, &ds.graph_input(), cfg).unwrap();
+            session.run_oneshot();
+            let mut times = Vec::with_capacity(snapshots);
+            for _ in 0..snapshots {
+                let batch = ds.next_batch(200, RATIO);
+                session.apply_mutations(&batch);
+                times.push(session.run_incremental().secs());
+            }
+            let early: f64 = times[..10].iter().sum::<f64>() / 10.0;
+            let late: f64 = times[snapshots - 10..].iter().sum::<f64>() / 10.0;
+            rows.push(vec![
+                algo.to_uppercase(),
+                label.to_string(),
+                format!("{early:.4}"),
+                format!("{late:.4}"),
+                format!("{:.2}x", late / early.max(1e-12)),
+                format!("{}", session.store_bytes()),
+            ]);
+        }
+    }
+    print_table(
+        &format!("Figure 17: incremental time over {snapshots} snapshots by maintenance policy"),
+        &[
+            "algo",
+            "policy",
+            "first-10 [s]",
+            "last-10 [s]",
+            "slowdown",
+            "store bytes",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,175 @@
+//! Building the formal GSA algebra plan from the lowered Traverse plan,
+//! and applying the automatic incrementalization of §5.1.
+
+use crate::plan::{ActionTarget, DeltaSubQuery, TraversePlan, WalkQuery};
+use itg_gsa::incremental::incrementalize;
+use itg_gsa::plan::{AlgebraNode, StreamRef, WriteTarget};
+use itg_gsa::Expr;
+
+/// Build the formal one-shot algebra plan `P_Q` for a Traverse plan: the
+/// union over walk queries of ⊎(Π(ω(vs, es_1, ..., es_k))) shapes.
+pub fn build_algebra(plan: &TraversePlan) -> AlgebraNode {
+    let mut nodes: Vec<AlgebraNode> = Vec::new();
+    for q in &plan.queries {
+        let walk = AlgebraNode::Walk {
+            streams: (0..=q.hops.len()).map(StreamRef::base).collect(),
+            start_filter: q.start_filter.clone(),
+            hop_constraints: q.hops.iter().map(|h| h.constraint.clone()).collect(),
+            final_constraint: None,
+            delta_start_images: false,
+        };
+        for a in &q.actions {
+            let input = match &a.cond {
+                Some(c) => AlgebraNode::Filter {
+                    pred: c.clone(),
+                    input: Box::new(walk.clone()),
+                },
+                None => walk.clone(),
+            };
+            let target = match &a.target {
+                ActionTarget::VertexAccm { pos, accm } => WriteTarget::VertexAttr {
+                    key: Expr::WalkVertex(*pos),
+                    attr: *accm,
+                },
+                ActionTarget::Global(g) => WriteTarget::Global(*g),
+            };
+            nodes.push(AlgebraNode::Accumulate {
+                target,
+                op: a.op,
+                ty: a.prim,
+                value: a.value.clone(),
+                input: Box::new(AlgebraNode::Map {
+                    exprs: vec![a.value.clone()],
+                    input: Box::new(input),
+                }),
+            });
+        }
+    }
+    match nodes.len() {
+        1 => nodes.pop().unwrap(),
+        _ => AlgebraNode::Union(nodes),
+    }
+}
+
+/// Derive the formal `P_ΔQ` via the Table 4 rules.
+pub fn build_delta_algebra(algebra: &AlgebraNode) -> AlgebraNode {
+    incrementalize(algebra)
+}
+
+/// Enumerate the executable delta sub-queries (Rule ⑦): for each walk
+/// query with k hops, k+1 sub-queries — delta at the vertex stream, then at
+/// each hop's edge stream — each carrying the backward pruning path used by
+/// the MS-BFS neighbor-pruning optimization.
+pub fn build_delta_subqueries(plan: &TraversePlan) -> Vec<DeltaSubQuery> {
+    let mut out = Vec::new();
+    for (qi, q) in plan.queries.iter().enumerate() {
+        for d in 0..=q.hops.len() {
+            let pruning_path = if d == 0 {
+                Vec::new()
+            } else {
+                // Hops on the path from the start vertex to the delta hop's
+                // *source* position: the backward MS-BFS starts from the
+                // delta edges' sources and walks these hops in reverse to
+                // find the candidate start vertices V_Δ.
+                q.path_to(q.hops[d - 1].source)
+            };
+            out.push(DeltaSubQuery {
+                query: qi,
+                delta_stream: d,
+                pruning_path,
+            });
+        }
+    }
+    out
+}
+
+/// Whether the walk queries are safe for incremental execution: value
+/// expressions, constraints, and action conditions may only read vertex
+/// attributes at position 0 (ids are fine anywhere) — the condition under
+/// which vs_2.. drop out of `P_ω` (§4.4) and Rule ⑦ applies as
+/// implemented.
+pub fn incremental_safe(plan: &TraversePlan) -> bool {
+    plan.queries.iter().all(|q: &WalkQuery| {
+        let exprs = q
+            .hops
+            .iter()
+            .filter_map(|h| h.constraint.as_ref())
+            .chain(q.actions.iter().filter_map(|a| a.cond.as_ref()))
+            .chain(q.actions.iter().map(|a| &a.value))
+            .chain(q.start_filter.as_ref());
+        exprs.into_iter().all(|e| !e.reads_deep_attrs())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{HopSpec, WalkAction};
+    use itg_gsa::accm::AccmOp;
+    use itg_gsa::expr::{BinOp, EdgeDir};
+    use itg_gsa::value::PrimType;
+
+    fn pr_like_plan() -> TraversePlan {
+        TraversePlan {
+            queries: vec![WalkQuery {
+                start_filter: None,
+                hops: vec![HopSpec {
+                    source: 0,
+                    dir: EdgeDir::Out,
+                    constraint: None,
+                }],
+                actions: vec![WalkAction {
+                    depth: 1,
+                    cond: None,
+                    target: ActionTarget::VertexAccm { pos: 1, accm: 0 },
+                    op: AccmOp::Sum,
+                    prim: PrimType::Double,
+                    value: Expr::bin(
+                        BinOp::Div,
+                        Expr::Attr { pos: 0, attr: 1 },
+                        Expr::Degree {
+                            pos: 0,
+                            dir: EdgeDir::Out,
+                        },
+                    ),
+                }],
+                closes_to: None,
+            }],
+        }
+    }
+
+    #[test]
+    fn algebra_has_accumulate_map_walk_shape() {
+        let alg = build_algebra(&pr_like_plan());
+        let text = alg.explain();
+        assert!(text.contains("⊎"));
+        assert!(text.contains("ω(vs, es1)"));
+    }
+
+    #[test]
+    fn delta_subqueries_count_and_paths() {
+        let subs = build_delta_subqueries(&pr_like_plan());
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0].delta_stream, 0);
+        assert!(subs[0].pruning_path.is_empty());
+        // Delta at hop 0: its source *is* the start position, so no
+        // backward traversal is needed to find V_Δ.
+        assert_eq!(subs[1].delta_stream, 1);
+        assert_eq!(subs[1].pruning_path, Vec::<usize>::new());
+    }
+
+    #[test]
+    fn delta_algebra_is_union_of_walks() {
+        let alg = build_algebra(&pr_like_plan());
+        let d = build_delta_algebra(&alg);
+        assert_eq!(itg_gsa::delta_subqueries(&d).len(), 2);
+    }
+
+    #[test]
+    fn deep_attr_reads_flagged_unsafe() {
+        let mut plan = pr_like_plan();
+        plan.queries[0].actions[0].value = Expr::Attr { pos: 1, attr: 1 };
+        assert!(!incremental_safe(&plan));
+        assert!(incremental_safe(&pr_like_plan()));
+    }
+}

@@ -1,0 +1,151 @@
+//! Plan-level optimizations (paper §2 and §5.3).
+//!
+//! - **Multi-way intersection**: nested for-loops that *close* the walk —
+//!   the final hop pinned to equal an earlier position (`u4 == u1` in TC,
+//!   `u4 == u3` in LCC) — are rewritten so the engine checks membership in
+//!   the earlier vertex's adjacency instead of scanning the final hop's
+//!   adjacency list. This is the paper's "for-loop exploiting a multi-way
+//!   intersection over the adjacency lists".
+//! - **Constraint classification**: hop constraints that reference only ids
+//!   (pure order constraints) are marked so the engine can evaluate them
+//!   without building a full evaluation context.
+//!
+//! Traversal reordering and neighbor pruning are *incremental-plan*
+//! optimizations: the sub-query structure the engine needs for them (which
+//! hop carries the delta; the backward pruning path) is produced by
+//! [`crate::algebra::build_delta_subqueries`], and the engine applies them
+//! at run time per its optimization flags.
+
+use crate::plan::{TraversePlan, WalkQuery};
+use itg_gsa::expr::{BinOp, Expr};
+
+/// Detect and annotate the closing-equality pattern on every walk query.
+pub fn annotate_intersections(plan: &mut TraversePlan) {
+    for q in &mut plan.queries {
+        q.closes_to = detect_close(q);
+    }
+}
+
+/// If the last hop's constraint is exactly `u_last == u_i` (or `u_i ==
+/// u_last`) for an earlier position `i` — possibly conjoined with other
+/// terms — return `i`.
+fn detect_close(q: &WalkQuery) -> Option<usize> {
+    let last = q.hops.last()?.constraint.as_ref()?;
+    let last_pos = q.hops.len();
+    find_close_term(last, last_pos)
+}
+
+fn find_close_term(e: &Expr, last_pos: usize) -> Option<usize> {
+    match e {
+        Expr::Binary(BinOp::Eq, l, r) => match (l.as_ref(), r.as_ref()) {
+            (Expr::WalkVertex(a), Expr::WalkVertex(b)) if *a == last_pos && *b < last_pos => {
+                Some(*b)
+            }
+            (Expr::WalkVertex(a), Expr::WalkVertex(b)) if *b == last_pos && *a < last_pos => {
+                Some(*a)
+            }
+            _ => None,
+        },
+        Expr::Binary(BinOp::And, l, r) => {
+            find_close_term(l, last_pos).or_else(|| find_close_term(r, last_pos))
+        }
+        _ => None,
+    }
+}
+
+/// Whether an expression references only walk positions (no attributes,
+/// globals, or degrees) — such constraints are evaluable from ids alone.
+pub fn is_pure_order_constraint(e: &Expr) -> bool {
+    let mut pure = true;
+    e.visit(&mut |n| {
+        if matches!(
+            n,
+            Expr::Attr { .. }
+                | Expr::AttrElem { .. }
+                | Expr::Global(_)
+                | Expr::Degree { .. }
+                | Expr::NumVertices
+        ) {
+            pure = false;
+        }
+    });
+    pure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::HopSpec;
+    use itg_gsa::expr::EdgeDir;
+
+    fn hop(constraint: Option<Expr>) -> HopSpec {
+        HopSpec {
+            source: 0,
+            dir: EdgeDir::Both,
+            constraint,
+        }
+    }
+
+    fn vertex_eq(a: usize, b: usize) -> Expr {
+        Expr::bin(BinOp::Eq, Expr::WalkVertex(a), Expr::WalkVertex(b))
+    }
+
+    #[test]
+    fn detects_tc_closing_constraint() {
+        // 3 hops, last constrained u3 == u0 (TC's `u4 == u1`).
+        let mut plan = TraversePlan {
+            queries: vec![WalkQuery {
+                start_filter: None,
+                hops: vec![hop(None), hop(None), hop(Some(vertex_eq(3, 0)))],
+                actions: vec![],
+                closes_to: None,
+            }],
+        };
+        annotate_intersections(&mut plan);
+        assert_eq!(plan.queries[0].closes_to, Some(0));
+    }
+
+    #[test]
+    fn detects_close_inside_conjunction() {
+        let c = Expr::bin(
+            BinOp::And,
+            Expr::bin(BinOp::Lt, Expr::WalkVertex(0), Expr::WalkVertex(1)),
+            vertex_eq(2, 1),
+        );
+        let mut plan = TraversePlan {
+            queries: vec![WalkQuery {
+                start_filter: None,
+                hops: vec![hop(None), hop(Some(c))],
+                actions: vec![],
+                closes_to: None,
+            }],
+        };
+        annotate_intersections(&mut plan);
+        assert_eq!(plan.queries[0].closes_to, Some(1));
+    }
+
+    #[test]
+    fn no_close_when_constraint_is_inequality() {
+        let c = Expr::bin(BinOp::Lt, Expr::WalkVertex(1), Expr::WalkVertex(2));
+        let mut plan = TraversePlan {
+            queries: vec![WalkQuery {
+                start_filter: None,
+                hops: vec![hop(None), hop(Some(c))],
+                actions: vec![],
+                closes_to: None,
+            }],
+        };
+        annotate_intersections(&mut plan);
+        assert_eq!(plan.queries[0].closes_to, None);
+    }
+
+    #[test]
+    fn purity_classification() {
+        assert!(is_pure_order_constraint(&vertex_eq(0, 1)));
+        assert!(!is_pure_order_constraint(&Expr::Attr { pos: 0, attr: 1 }));
+        assert!(!is_pure_order_constraint(&Expr::Degree {
+            pos: 0,
+            dir: EdgeDir::Out
+        }));
+    }
+}

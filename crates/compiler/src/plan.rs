@@ -1,0 +1,212 @@
+//! Executable plan types produced by the compiler and interpreted by the
+//! runtime engine.
+//!
+//! The formal representation of a query is the GSA algebra tree
+//! ([`itg_gsa::plan::AlgebraNode`]); these types are the *lowered* form the
+//! engine executes: walk specifications with per-hop constraints and
+//! attached actions, plus per-vertex statement programs for Initialize and
+//! Update.
+
+use itg_gsa::accm::AccmOp;
+use itg_gsa::expr::{EdgeDir, Expr};
+use itg_gsa::value::PrimType;
+
+/// One hop of a walk: extend from walk position `source` along `dir`
+/// adjacency; keep extensions satisfying `constraint` (which may reference
+/// positions `0..=target`, where the new vertex is position `target`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HopSpec {
+    pub source: usize,
+    pub dir: EdgeDir,
+    pub constraint: Option<Expr>,
+}
+
+/// Where a walk action writes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActionTarget {
+    /// A vertex accumulator: the target vertex is the walk position `pos`;
+    /// `accm` indexes the symbol table's vertex accumulators.
+    VertexAccm { pos: usize, accm: usize },
+    /// A global accumulator by index.
+    Global(usize),
+}
+
+/// An accumulate action attached to a walk: fires once per enumerated walk
+/// of length `depth` whose condition holds, contributing `value` (with the
+/// walk's multiplicity as sign) to the target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalkAction {
+    /// Walk length at which this action fires (= position count − 1).
+    pub depth: usize,
+    /// Residual condition (If conditions not foldable into hop
+    /// constraints).
+    pub cond: Option<Expr>,
+    pub target: ActionTarget,
+    pub op: AccmOp,
+    pub prim: PrimType,
+    pub value: Expr,
+}
+
+/// One walk query of Traverse: a chain/tree path of hops with actions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalkQuery {
+    /// Start-vertex filter beyond `active = true` (If conditions at depth 0
+    /// referencing only u1).
+    pub start_filter: Option<Expr>,
+    pub hops: Vec<HopSpec>,
+    pub actions: Vec<WalkAction>,
+    /// Multi-way-intersection optimization: if the final hop's constraint
+    /// pins the new vertex to equal an earlier position (`u_{k+1} == u_i`),
+    /// this records `i` and the engine closes the walk by membership check
+    /// instead of scanning the final adjacency list.
+    pub closes_to: Option<usize>,
+}
+
+impl WalkQuery {
+    pub fn num_hops(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Walk position `p`'s parent position (the hop source it was reached
+    /// from); position 0 has no parent.
+    pub fn parent(&self, p: usize) -> Option<usize> {
+        if p == 0 {
+            None
+        } else {
+            Some(self.hops[p - 1].source)
+        }
+    }
+
+    /// The hop indexes on the path from position 0 to position `p`,
+    /// in forward order — the path backward MS-BFS reverses for neighbor
+    /// pruning.
+    pub fn path_to(&self, p: usize) -> Vec<usize> {
+        let mut path = Vec::new();
+        let mut cur = p;
+        while let Some(par) = self.parent(cur) {
+            path.push(cur - 1);
+            cur = par;
+        }
+        path.reverse();
+        path
+    }
+}
+
+/// One sub-query of the incremental Traverse (Rule ⑦): the walk with the
+/// delta bound to one stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaSubQuery {
+    /// Index into `TraversePlan::queries`.
+    pub query: usize,
+    /// Which stream carries the delta: 0 = the vertex stream (attribute /
+    /// activation changes), `j ≥ 1` = hop `j−1`'s edge stream.
+    pub delta_stream: usize,
+    /// For `delta_stream = j ≥ 1`: the hop indexes from the start to the
+    /// delta hop (the pruning MS-BFS walks these in reverse).
+    pub pruning_path: Vec<usize>,
+}
+
+/// Per-vertex statements (Initialize / Update bodies after Let
+/// substitution). Expressions reference the vertex as walk position 0;
+/// accumulator reads use attr indexes offset by the non-accm attr count
+/// (see [`CompiledProgram::accm_attr_base`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum VStmt {
+    /// Assign to the vertex's non-accm attribute `attr`.
+    Assign { attr: usize, value: Expr },
+    /// Accumulate into a global.
+    AccumGlobal {
+        global: usize,
+        op: AccmOp,
+        prim: PrimType,
+        value: Expr,
+    },
+    If {
+        cond: Expr,
+        then_body: Vec<VStmt>,
+        else_body: Vec<VStmt>,
+    },
+}
+
+/// A per-vertex statement program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct VertexProgram {
+    pub stmts: Vec<VStmt>,
+}
+
+impl VertexProgram {
+    /// Whether any statement (transitively) assigns `attr`.
+    pub fn assigns(&self, attr: usize) -> bool {
+        fn walk(stmts: &[VStmt], attr: usize) -> bool {
+            stmts.iter().any(|s| match s {
+                VStmt::Assign { attr: a, .. } => *a == attr,
+                VStmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => walk(then_body, attr) || walk(else_body, attr),
+                VStmt::AccumGlobal { .. } => false,
+            })
+        }
+        walk(&self.stmts, attr)
+    }
+}
+
+/// The Traverse plan: a union of walk queries.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraversePlan {
+    pub queries: Vec<WalkQuery>,
+}
+
+/// Static facts about a program the engine's incremental scheduling needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProgramAnalysis {
+    /// Traverse reads a degree: edge mutations then imply Δvs entries for
+    /// the mutation endpoints even when no stored attribute changed.
+    pub traverse_reads_degree: bool,
+    /// Update reads a degree: degree-changed touched vertices must re-run
+    /// Update.
+    pub update_reads_degree: bool,
+    /// Initialize reads a degree (unsupported for incremental runs).
+    pub init_reads_degree: bool,
+    /// Update reads global accumulators: a changed global invalidates every
+    /// touched vertex.
+    pub update_reads_globals: bool,
+    /// Update accumulates into globals (unsupported for incremental runs).
+    pub update_accumulates_globals: bool,
+}
+
+/// The full compiled program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledProgram {
+    pub symbols: itg_lnga::Symbols,
+    pub init: VertexProgram,
+    pub update: VertexProgram,
+    pub traverse: TraversePlan,
+    /// The incremental Traverse: Rule ⑦ sub-queries across all walk
+    /// queries, in (query, delta_stream) order.
+    pub delta_traverse: Vec<DeltaSubQuery>,
+    /// The formal one-shot algebra plan `P_Q` (Traverse portion).
+    pub algebra: itg_gsa::AlgebraNode,
+    /// The formal incremental algebra plan `P_ΔQ`.
+    pub algebra_delta: itg_gsa::AlgebraNode,
+    /// Whether the program is safe for incremental execution (no deep
+    /// attribute reads; see DESIGN.md §4.3). Always true for programs the
+    /// compiler accepts with incrementalization enabled.
+    pub incremental_safe: bool,
+    /// The highest walk position whose attributes Update reads — engine
+    /// uses this for scheduling (always 0 by construction).
+    pub max_hops: usize,
+    /// Static usage facts for the engine's incremental scheduling.
+    pub analysis: ProgramAnalysis,
+}
+
+impl CompiledProgram {
+    /// In Update-context expressions, accumulator `i` is addressed as
+    /// attribute index `symbols.attrs.len() + i`. The engine's Update
+    /// evaluation context resolves indexes past the non-accm columns into
+    /// the accumulator columns.
+    pub fn accm_attr_base(&self) -> usize {
+        self.symbols.attrs.len()
+    }
+}

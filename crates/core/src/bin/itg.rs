@@ -1,0 +1,234 @@
+//! `itg` — the iTurboGraph command-line runner.
+//!
+//! ```text
+//! itg check   <program.lnga>                 type-check a program
+//! itg explain <program.lnga>                 print P_Q and P_ΔQ
+//! itg run     <program.lnga> <edges.txt>     one-shot run, print results
+//!     [--undirected] [--machines N] [--max-supersteps N]
+//!     [--mutations <muts.txt>]               then incremental batches
+//! ```
+//!
+//! Edge files are whitespace-separated `src dst` pairs, one per line;
+//! `#`-prefixed lines are comments. Mutation files use `+ src dst` /
+//! `- src dst` lines, with blank lines separating batches.
+
+use iturbograph::prelude::*;
+use std::fs;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("itg: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().map(|s| s.as_str()).unwrap_or("help");
+    match cmd {
+        "check" => {
+            let src = read(arg(args, 1, "program path")?)?;
+            let program = compile_source(&src).map_err(|e| e.to_string())?;
+            println!(
+                "ok: {} attrs, {} accumulators, {} globals, {} walk queries, max {} hops",
+                program.symbols.attrs.len(),
+                program.symbols.accms.len(),
+                program.symbols.globals.len(),
+                program.traverse.queries.len(),
+                program.max_hops,
+            );
+            if !program.incremental_safe {
+                println!("note: program is NOT incrementally safe (deep attribute reads)");
+            }
+            Ok(())
+        }
+        "explain" => {
+            let src = read(arg(args, 1, "program path")?)?;
+            let program = compile_source(&src).map_err(|e| e.to_string())?;
+            println!("=== one-shot plan P_Q ===\n{}", program.algebra.explain());
+            println!("=== incremental plan P_ΔQ ===\n{}", program.algebra_delta.explain());
+            println!("Δ-walk sub-queries:");
+            for sq in &program.delta_traverse {
+                println!(
+                    "  query {}: delta at stream {} ({}), pruning path {:?}",
+                    sq.query,
+                    sq.delta_stream,
+                    if sq.delta_stream == 0 {
+                        "Δvs".to_string()
+                    } else {
+                        format!("Δes{}", sq.delta_stream)
+                    },
+                    sq.pruning_path,
+                );
+            }
+            Ok(())
+        }
+        "run" => {
+            let src = read(arg(args, 1, "program path")?)?;
+            let edges = parse_edges(&read(arg(args, 2, "edge file")?)?)?;
+            let undirected = flag(args, "--undirected");
+            let machines: usize = opt(args, "--machines")?.unwrap_or(1);
+            let max_ss: usize = opt(args, "--max-supersteps")?.unwrap_or(usize::MAX);
+
+            let input = if undirected {
+                GraphInput::undirected(edges)
+            } else {
+                GraphInput::directed(edges)
+            };
+            let cfg = EngineConfig {
+                machines,
+                parallel: machines > 1,
+                max_supersteps: max_ss,
+                ..EngineConfig::default()
+            };
+            let mut session =
+                Session::from_source(&src, &input, cfg).map_err(|e| e.to_string())?;
+            let one = session.run_oneshot();
+            println!("one-shot: {}", one.summary());
+            print_results(&session);
+
+            if let Some(path) = opt_str(args, "--mutations") {
+                let batches = parse_mutations(&read(&path)?)?;
+                for (i, batch) in batches.into_iter().enumerate() {
+                    session.apply_mutations(&batch);
+                    let inc = session.run_incremental();
+                    println!("\nbatch {}: {}", i + 1, inc.summary());
+                    print_results(&session);
+                }
+            }
+            Ok(())
+        }
+        _ => {
+            eprintln!(
+                "usage: itg <check|explain|run> <program.lnga> [edges.txt] \
+                 [--undirected] [--machines N] [--max-supersteps N] [--mutations muts.txt]"
+            );
+            Err("unknown command".into())
+        }
+    }
+}
+
+fn arg<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, String> {
+    args.get(i)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("missing {what}"))
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn opt_str(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn opt<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, String> {
+    match opt_str(args, name) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("invalid value for {name}: {v}")),
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn parse_edges(text: &str) -> Result<Vec<(u64, u64)>, String> {
+    let mut out = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let s: u64 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| format!("line {}: expected `src dst`", ln + 1))?;
+        let d: u64 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| format!("line {}: expected `src dst`", ln + 1))?;
+        out.push((s, d));
+    }
+    Ok(out)
+}
+
+fn parse_mutations(text: &str) -> Result<Vec<MutationBatch>, String> {
+    let mut batches = Vec::new();
+    let mut current: Vec<EdgeMutation> = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.starts_with('#') {
+            continue;
+        }
+        if line.is_empty() {
+            if !current.is_empty() {
+                batches.push(MutationBatch::new(std::mem::take(&mut current)));
+            }
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let sign = it.next().unwrap_or("");
+        let s: u64 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| format!("line {}: expected `+|- src dst`", ln + 1))?;
+        let d: u64 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| format!("line {}: expected `+|- src dst`", ln + 1))?;
+        match sign {
+            "+" => current.push(EdgeMutation::insert(s, d)),
+            "-" => current.push(EdgeMutation::delete(s, d)),
+            other => return Err(format!("line {}: bad sign `{other}`", ln + 1)),
+        }
+    }
+    if !current.is_empty() {
+        batches.push(MutationBatch::new(current));
+    }
+    Ok(batches)
+}
+
+fn print_results(session: &Session) {
+    // Globals.
+    for g in &session.program.symbols.globals {
+        if let Ok(v) = session.global_value(&g.name, None) {
+            println!("  global {} = {}", g.name, v);
+        }
+    }
+    // First few vertices' non-accm attributes (skip `active`).
+    let n = session.graph.num_vertices().min(10);
+    let attrs: Vec<String> = session.program.symbols.attrs[1..]
+        .iter()
+        .map(|a| a.name.clone())
+        .collect();
+    if attrs.is_empty() {
+        return;
+    }
+    for v in 0..n as u64 {
+        let vals: Vec<String> = attrs
+            .iter()
+            .map(|a| {
+                session
+                    .attr_value(v, a)
+                    .map(|x| format!("{a}={x}"))
+                    .unwrap_or_default()
+            })
+            .collect();
+        println!("  v{v}: {}", vals.join("  "));
+    }
+    if session.graph.num_vertices() > 10 {
+        println!("  … ({} vertices total)", session.graph.num_vertices());
+    }
+}

@@ -1,0 +1,86 @@
+//! # iTurboGraph — scaling and automating incremental graph analytics
+//!
+//! A from-scratch Rust implementation of the system described in
+//! *"iTurboGraph: Scaling and Automating Incremental Graph Analytics"*
+//! (Ko, Lee, Hong, Lee, Seo, Seo, Han — SIGMOD 2021): a domain-specific
+//! language (`L_NGA`) for neighbor-centric graph analytics, a compiler
+//! that lowers it to Graph Streaming Algebra and *automatically
+//! incrementalizes* the query, and a runtime engine that executes both the
+//! one-shot and incremental plans over a delta-based dynamic graph store.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use iturbograph::prelude::*;
+//!
+//! // Triangle counting, written once in L_NGA — the incremental plan is
+//! // derived automatically.
+//! let graph = GraphInput::undirected(vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+//! let mut session = Session::from_source(
+//!     iturbograph::algorithms::TRIANGLE_COUNT,
+//!     &graph,
+//!     EngineConfig::default(),
+//! )
+//! .unwrap();
+//!
+//! session.run_oneshot();
+//! assert_eq!(session.global_value("cnts", None).unwrap(), Value::Long(1));
+//!
+//! // Stream in a mutation batch and update the result incrementally.
+//! session.apply_mutations(&MutationBatch::new(vec![EdgeMutation::insert(1, 3)]));
+//! session.run_incremental();
+//! assert_eq!(session.global_value("cnts", None).unwrap(), Value::Long(2));
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Re-export | Crate | Paper section |
+//! |---|---|---|
+//! | [`lnga`] | `itg-lnga` | §3 — the `L_NGA` language front end |
+//! | [`gsa`] | `itg-gsa` | §4 — Graph Streaming Algebra, Table 4 rules |
+//! | [`compiler`] | `itg-compiler` | §4.4/§5.1 — lowering + incrementalization |
+//! | [`store`] | `itg-store` | §5.5 — the delta-based dynamic graph store |
+//! | [`engine`] | `itg-engine` | §5.2–5.4 — the BSP runtime and Δ-walks |
+//! | [`algorithms`] | `itg-algorithms` | §6.1 — PR, LP, WCC, BFS, TC, LCC |
+//! | [`graphgen`] | `itg-graphgen` | §6.1 — RMAT, upscaling, workloads |
+
+pub use itg_compiler as compiler;
+pub use itg_engine as engine;
+pub use itg_graphgen as graphgen;
+pub use itg_gsa as gsa;
+pub use itg_lnga as lnga;
+pub use itg_store as store;
+
+/// The paper's six evaluation algorithms as ready-to-compile `L_NGA`
+/// sources, plus native reference implementations.
+pub mod algorithms {
+    pub use itg_algorithms::native;
+    pub use itg_algorithms::programs::*;
+    pub use itg_algorithms::SimpleGraph;
+}
+
+/// The common imports for applications.
+pub mod prelude {
+    pub use itg_compiler::{compile_source, CompiledProgram};
+    pub use itg_engine::{EngineConfig, GraphInput, OptFlags, RunKind, RunMetrics, Session};
+    pub use itg_gsa::{Value, VertexId};
+    pub use itg_store::{EdgeMutation, MaintenancePolicy, MutationBatch};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn facade_quickstart_compiles_and_runs() {
+        let graph = GraphInput::undirected(vec![(0, 1), (0, 2), (1, 2)]);
+        let mut s = Session::from_source(
+            crate::algorithms::TRIANGLE_COUNT,
+            &graph,
+            EngineConfig::default(),
+        )
+        .unwrap();
+        s.run_oneshot();
+        assert_eq!(s.global_value("cnts", None).unwrap(), Value::Long(1));
+    }
+}

@@ -1,0 +1,461 @@
+//! Accumulator state and incremental Accumulate (paper §5.4).
+//!
+//! Per-vertex accumulator state is stored columnarly: for each accumulator,
+//! its value, its *contribution count* (net number of walks that targeted
+//! the vertex — a vertex is "touched", and Update runs for it, when any
+//! count is positive), and — for Min/Max — the support count of the current
+//! extremum (the CNT optimization).
+//!
+//! Contributions emitted by walk enumeration are pre-aggregated per target
+//! before any exchange: Abelian-group values fold through the operation
+//! (retractions through the inverse); monoid insertions fold through a
+//! [`CountedAccm`]; retractions that cannot be folded (monoid deletes, or a
+//! `Prod` retraction of zero) are carried raw and resolved against the
+//! stored state — possibly demanding recomputation.
+
+use itg_gsa::accm::{AccmOp, CountedAccm, RetractOutcome};
+use itg_gsa::value::{ColumnData, PrimType, Value, ValueType};
+use itg_gsa::{FxHashMap, VertexId};
+use itg_lnga::AccmInfo;
+
+/// Column layout of the accumulator state: `[values..][counts..][supports..]`
+/// where supports exist only for Min/Max accumulators.
+#[derive(Debug, Clone)]
+pub struct AccmLayout {
+    pub accms: Vec<AccmInfo>,
+    /// Support-column index per accumulator (Min/Max only).
+    support_col: Vec<Option<usize>>,
+    pub num_cols: usize,
+}
+
+impl AccmLayout {
+    pub fn new(accms: &[AccmInfo]) -> AccmLayout {
+        let n = accms.len();
+        let mut support_col = Vec::with_capacity(n);
+        let mut next = 2 * n;
+        for a in accms {
+            if matches!(a.op, AccmOp::Min | AccmOp::Max) {
+                support_col.push(Some(next));
+                next += 1;
+            } else {
+                support_col.push(None);
+            }
+        }
+        AccmLayout {
+            accms: accms.to_vec(),
+            support_col,
+            num_cols: next,
+        }
+    }
+
+    pub fn num_accms(&self) -> usize {
+        self.accms.len()
+    }
+
+    pub fn value_col(&self, i: usize) -> usize {
+        i
+    }
+
+    pub fn count_col(&self, i: usize) -> usize {
+        self.accms.len() + i
+    }
+
+    pub fn support_col(&self, i: usize) -> Option<usize> {
+        self.support_col[i]
+    }
+
+    /// Column types for the backing [`itg_store::AttrStore`].
+    pub fn column_types(&self) -> Vec<ValueType> {
+        let mut cols: Vec<ValueType> = self
+            .accms
+            .iter()
+            .map(|a| ValueType::Prim(a.prim))
+            .collect();
+        cols.extend(std::iter::repeat(ValueType::Prim(PrimType::Long)).take(self.accms.len()));
+        for a in &self.accms {
+            if matches!(a.op, AccmOp::Min | AccmOp::Max) {
+                cols.push(ValueType::Prim(PrimType::Long));
+            }
+        }
+        cols
+    }
+
+    /// Fresh identity-state columns for `n` vertices.
+    pub fn identity_columns(&self, n: usize) -> Vec<ColumnData> {
+        let mut cols: Vec<ColumnData> = Vec::with_capacity(self.num_cols);
+        for a in &self.accms {
+            let mut c = ColumnData::zeros(ValueType::Prim(a.prim), n);
+            let ident = a.op.identity(a.prim);
+            for i in 0..n {
+                c.set(i, &ident);
+            }
+            cols.push(c);
+        }
+        for _ in 0..self.accms.len() {
+            cols.push(ColumnData::zeros(ValueType::Prim(PrimType::Long), n));
+        }
+        for a in &self.accms {
+            if matches!(a.op, AccmOp::Min | AccmOp::Max) {
+                cols.push(ColumnData::zeros(ValueType::Prim(PrimType::Long), n));
+            }
+        }
+        cols
+    }
+
+    /// Read a vertex's full state row.
+    pub fn row(&self, cols: &[ColumnData], local: usize) -> Vec<Value> {
+        (0..self.num_cols).map(|c| cols[c].get(local)).collect()
+    }
+
+    /// Is the vertex touched (any positive contribution count)?
+    pub fn touched(&self, cols: &[ColumnData], local: usize) -> bool {
+        (0..self.num_accms())
+            .any(|i| cols[self.count_col(i)].get(local).as_i64().unwrap_or(0) > 0)
+    }
+}
+
+/// A pre-aggregated set of contributions to one target.
+#[derive(Debug, Clone)]
+pub struct Contribution {
+    /// Group-foldable part (starts at the identity).
+    pub folded: Value,
+    /// Net contribution count.
+    pub count: i64,
+    /// Monoid insert part (Min/Max).
+    pub monoid: Option<CountedAccm>,
+    /// Retractions that could not be folded.
+    pub retractions: Vec<Value>,
+}
+
+impl Contribution {
+    pub fn identity(op: AccmOp, prim: PrimType) -> Contribution {
+        Contribution {
+            folded: op.identity(prim),
+            count: 0,
+            monoid: None,
+            retractions: Vec::new(),
+        }
+    }
+
+    /// Fold one walk's contribution (`mult` = ±1 … ±k).
+    pub fn add(&mut self, op: AccmOp, prim: PrimType, value: &Value, mult: i64) {
+        let times = mult.unsigned_abs();
+        self.count += mult;
+        for _ in 0..times {
+            if mult > 0 {
+                if op.is_group() {
+                    self.folded = op.combine(&self.folded, value, prim);
+                } else {
+                    self.monoid
+                        .get_or_insert_with(|| CountedAccm::identity(op, prim))
+                        .insert(op, prim, value);
+                }
+            } else if op.is_group() {
+                if let Some(inv) = op.inverse(value, prim) {
+                    self.folded = op.combine(&self.folded, &inv, prim);
+                } else {
+                    self.retractions.push(value.clone());
+                }
+            } else {
+                self.retractions.push(value.clone());
+            }
+        }
+    }
+
+    /// Merge another pre-aggregated contribution (exchange path).
+    pub fn merge(&mut self, other: &Contribution, op: AccmOp, prim: PrimType) {
+        self.count += other.count;
+        self.folded = op.combine(&self.folded, &other.folded, prim);
+        if let Some(m) = &other.monoid {
+            self.monoid
+                .get_or_insert_with(|| CountedAccm::identity(op, prim))
+                .merge(m, op, prim);
+        }
+        self.retractions.extend(other.retractions.iter().cloned());
+    }
+
+    /// Approximate serialized size in bytes, for network accounting.
+    pub fn wire_bytes(&self) -> u64 {
+        24 + self.retractions.len() as u64 * 8 + if self.monoid.is_some() { 16 } else { 0 }
+    }
+}
+
+/// Per-worker contribution buffers: one map per vertex accumulator plus one
+/// slot per global accumulator.
+#[derive(Debug)]
+pub struct AccBuffer {
+    pub vertex: Vec<FxHashMap<VertexId, Contribution>>,
+    pub globals: Vec<Contribution>,
+}
+
+impl AccBuffer {
+    pub fn new(accms: &[AccmInfo], globals: &[AccmInfo]) -> AccBuffer {
+        AccBuffer {
+            vertex: accms.iter().map(|_| FxHashMap::default()).collect(),
+            globals: globals
+                .iter()
+                .map(|g| Contribution::identity(g.op, g.prim))
+                .collect(),
+        }
+    }
+
+    pub fn add_vertex(
+        &mut self,
+        accm_idx: usize,
+        info: &AccmInfo,
+        target: VertexId,
+        value: &Value,
+        mult: i64,
+    ) {
+        self.vertex[accm_idx]
+            .entry(target)
+            .or_insert_with(|| Contribution::identity(info.op, info.prim))
+            .add(info.op, info.prim, value, mult);
+    }
+
+    pub fn add_global(&mut self, idx: usize, info: &AccmInfo, value: &Value, mult: i64) {
+        self.globals[idx].add(info.op, info.prim, value, mult);
+    }
+}
+
+/// Result of applying one contribution set to a vertex's stored state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyOutcome {
+    Unchanged,
+    Changed,
+    /// Monoid (or non-invertible group) retraction hit the stored extremum:
+    /// the accumulator must be recomputed from its inputs.
+    NeedsRecompute,
+}
+
+/// Apply a contribution to the state columns at `local` for accumulator
+/// `i`. `use_cnt` is the CNT optimization flag: when false, *any*
+/// unfoldable retraction forces recomputation.
+pub fn apply_contribution(
+    layout: &AccmLayout,
+    cols: &mut [ColumnData],
+    local: usize,
+    i: usize,
+    c: &Contribution,
+    use_cnt: bool,
+) -> ApplyOutcome {
+    let info = &layout.accms[i];
+    let (op, prim) = (info.op, info.prim);
+    let vcol = layout.value_col(i);
+    let ccol = layout.count_col(i);
+
+    let before_value = cols[vcol].get(local);
+    let before_count = cols[ccol].get(local).as_i64().unwrap_or(0);
+
+    let new_count = before_count + c.count;
+    cols[ccol].set(local, &Value::Long(new_count));
+
+    let mut needs_recompute = false;
+    if op.is_group() {
+        let mut v = op.combine(&before_value, &c.folded, prim);
+        if !c.retractions.is_empty() {
+            needs_recompute = true;
+        }
+        if new_count == 0 && !needs_recompute {
+            // All contributions cancelled: restore the exact identity (the
+            // floating-point fold may leave −0.0 or tiny residue).
+            v = op.identity(prim);
+        }
+        cols[vcol].set(local, &v);
+    } else {
+        // Monoid: fold inserts through the counted state, then retract.
+        let scol = layout.support_col(i).expect("monoid has support column");
+        let mut state = CountedAccm {
+            value: before_value.clone(),
+            count: cols[scol].get(local).as_i64().unwrap_or(0) as u64,
+        };
+        if let Some(m) = &c.monoid {
+            state.merge(m, op, prim);
+        }
+        for r in &c.retractions {
+            if !use_cnt {
+                needs_recompute = true;
+                break;
+            }
+            match state.retract(r) {
+                RetractOutcome::NeedsRecompute => {
+                    needs_recompute = true;
+                    break;
+                }
+                RetractOutcome::Unaffected | RetractOutcome::SupportDecremented => {}
+            }
+        }
+        if !needs_recompute {
+            cols[vcol].set(local, &state.value);
+            cols[scol].set(local, &Value::Long(state.count as i64));
+        }
+        if new_count == 0 && !needs_recompute {
+            cols[vcol].set(local, &op.identity(prim));
+            cols[scol].set(local, &Value::Long(0));
+        }
+    }
+
+    if needs_recompute {
+        ApplyOutcome::NeedsRecompute
+    } else if cols[vcol].get(local) != before_value || new_count != before_count {
+        ApplyOutcome::Changed
+    } else {
+        ApplyOutcome::Unchanged
+    }
+}
+
+/// Reset accumulator `i`'s state at `local` to identity/untouched (the
+/// starting point of a recomputation).
+pub fn reset_state(layout: &AccmLayout, cols: &mut [ColumnData], local: usize, i: usize) {
+    let info = &layout.accms[i];
+    cols[layout.value_col(i)].set(local, &info.op.identity(info.prim));
+    cols[layout.count_col(i)].set(local, &Value::Long(0));
+    if let Some(s) = layout.support_col(i) {
+        cols[s].set(local, &Value::Long(0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_layout() -> AccmLayout {
+        AccmLayout::new(&[AccmInfo {
+            name: "sum".into(),
+            prim: PrimType::Double,
+            op: AccmOp::Sum,
+        }])
+    }
+
+    fn min_layout() -> AccmLayout {
+        AccmLayout::new(&[AccmInfo {
+            name: "m".into(),
+            prim: PrimType::Long,
+            op: AccmOp::Min,
+        }])
+    }
+
+    #[test]
+    fn layout_columns() {
+        let l = min_layout();
+        assert_eq!(l.num_cols, 3); // value, count, support
+        assert_eq!(l.value_col(0), 0);
+        assert_eq!(l.count_col(0), 1);
+        assert_eq!(l.support_col(0), Some(2));
+        let s = sum_layout();
+        assert_eq!(s.num_cols, 2);
+        assert_eq!(s.support_col(0), None);
+    }
+
+    #[test]
+    fn group_fold_and_apply() {
+        let l = sum_layout();
+        let mut cols = l.identity_columns(4);
+        let info = &l.accms[0].clone();
+        let mut c = Contribution::identity(AccmOp::Sum, PrimType::Double);
+        c.add(info.op, info.prim, &Value::Double(2.0), 1);
+        c.add(info.op, info.prim, &Value::Double(3.0), 1);
+        c.add(info.op, info.prim, &Value::Double(2.0), -1);
+        let out = apply_contribution(&l, &mut cols, 1, 0, &c, true);
+        assert_eq!(out, ApplyOutcome::Changed);
+        assert_eq!(cols[0].get(1), Value::Double(3.0));
+        assert_eq!(cols[1].get(1), Value::Long(1));
+        assert!(l.touched(&cols, 1));
+        assert!(!l.touched(&cols, 0));
+    }
+
+    #[test]
+    fn group_full_cancellation_restores_identity() {
+        let l = sum_layout();
+        let mut cols = l.identity_columns(1);
+        let info = l.accms[0].clone();
+        let mut c = Contribution::identity(info.op, info.prim);
+        c.add(info.op, info.prim, &Value::Double(0.1), 1);
+        apply_contribution(&l, &mut cols, 0, 0, &c, true);
+        let mut d = Contribution::identity(info.op, info.prim);
+        d.add(info.op, info.prim, &Value::Double(0.1), -1);
+        apply_contribution(&l, &mut cols, 0, 0, &d, true);
+        assert_eq!(cols[0].get(0), Value::Double(0.0));
+        assert!(!l.touched(&cols, 0));
+    }
+
+    #[test]
+    fn monoid_cnt_avoids_recompute() {
+        let l = min_layout();
+        let mut cols = l.identity_columns(1);
+        let info = l.accms[0].clone();
+        // Insert {1, 2, 5, 1}.
+        let mut c = Contribution::identity(info.op, info.prim);
+        for v in [1i64, 2, 5, 1] {
+            c.add(info.op, info.prim, &Value::Long(v), 1);
+        }
+        assert_eq!(apply_contribution(&l, &mut cols, 0, 0, &c, true), ApplyOutcome::Changed);
+        assert_eq!(cols[0].get(0), Value::Long(1));
+        assert_eq!(cols[2].get(0), Value::Long(2));
+
+        // Retract a 5 and one 1: still fine under CNT.
+        let mut d = Contribution::identity(info.op, info.prim);
+        d.add(info.op, info.prim, &Value::Long(5), -1);
+        d.add(info.op, info.prim, &Value::Long(1), -1);
+        assert_eq!(apply_contribution(&l, &mut cols, 0, 0, &d, true), ApplyOutcome::Changed);
+        assert_eq!(cols[0].get(0), Value::Long(1));
+        assert_eq!(cols[2].get(0), Value::Long(1));
+
+        // Retract the last 1: recompute required.
+        let mut e = Contribution::identity(info.op, info.prim);
+        e.add(info.op, info.prim, &Value::Long(1), -1);
+        assert_eq!(
+            apply_contribution(&l, &mut cols, 0, 0, &e, true),
+            ApplyOutcome::NeedsRecompute
+        );
+    }
+
+    #[test]
+    fn monoid_without_cnt_always_recomputes_on_retraction() {
+        let l = min_layout();
+        let mut cols = l.identity_columns(1);
+        let info = l.accms[0].clone();
+        let mut c = Contribution::identity(info.op, info.prim);
+        c.add(info.op, info.prim, &Value::Long(1), 1);
+        c.add(info.op, info.prim, &Value::Long(9), 1);
+        apply_contribution(&l, &mut cols, 0, 0, &c, false);
+        let mut d = Contribution::identity(info.op, info.prim);
+        d.add(info.op, info.prim, &Value::Long(9), -1); // harmless value
+        assert_eq!(
+            apply_contribution(&l, &mut cols, 0, 0, &d, false),
+            ApplyOutcome::NeedsRecompute
+        );
+    }
+
+    #[test]
+    fn contribution_merge_is_preaggregation() {
+        let info = AccmInfo {
+            name: "m".into(),
+            prim: PrimType::Long,
+            op: AccmOp::Min,
+        };
+        let mut a = Contribution::identity(info.op, info.prim);
+        a.add(info.op, info.prim, &Value::Long(3), 1);
+        let mut b = Contribution::identity(info.op, info.prim);
+        b.add(info.op, info.prim, &Value::Long(3), 1);
+        b.add(info.op, info.prim, &Value::Long(7), 1);
+        a.merge(&b, info.op, info.prim);
+        assert_eq!(a.count, 3);
+        let m = a.monoid.unwrap();
+        assert_eq!(m.value, Value::Long(3));
+        assert_eq!(m.count, 2);
+    }
+
+    #[test]
+    fn reset_state_clears_everything() {
+        let l = min_layout();
+        let mut cols = l.identity_columns(1);
+        let info = l.accms[0].clone();
+        let mut c = Contribution::identity(info.op, info.prim);
+        c.add(info.op, info.prim, &Value::Long(4), 1);
+        apply_contribution(&l, &mut cols, 0, 0, &c, true);
+        reset_state(&l, &mut cols, 0, 0);
+        assert_eq!(cols[0].get(0), Value::Long(i64::MAX));
+        assert!(!l.touched(&cols, 0));
+    }
+}

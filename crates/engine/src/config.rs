@@ -1,0 +1,112 @@
+//! Engine configuration: simulated cluster size, window/buffer budgets, and
+//! the optimization flags evaluated in the paper's ablation (§6.4.2).
+
+use itg_store::MaintenancePolicy;
+
+/// The run-time optimization switches (Figure 16's ablation axes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptFlags {
+    /// TR — traversal reordering: start Δ-walk enumeration at the delta
+    /// stream's endpoints instead of re-executing the full prefix.
+    pub traversal_reorder: bool,
+    /// NP — neighbor pruning: restrict Δ-walk enumeration to the per-depth
+    /// vertex sets found by backward MS-BFS.
+    pub neighbor_prune: bool,
+    /// SWS — seek/window sharing: batch-process the Rule ⑦ sub-queries per
+    /// start vertex so their window seeks share IO.
+    pub seek_window_share: bool,
+    /// CNT — Min/Max with support counting: avoid monoid recomputation when
+    /// the retracted value was not the sole extremum.
+    pub min_count: bool,
+}
+
+impl Default for OptFlags {
+    fn default() -> OptFlags {
+        OptFlags {
+            traversal_reorder: true,
+            neighbor_prune: true,
+            seek_window_share: true,
+            min_count: true,
+        }
+    }
+}
+
+impl OptFlags {
+    /// The BASE configuration of §6.4.2: everything off.
+    pub fn none() -> OptFlags {
+        OptFlags {
+            traversal_reorder: false,
+            neighbor_prune: false,
+            seek_window_share: false,
+            min_count: false,
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of simulated machines (partitions / worker threads).
+    pub machines: usize,
+    /// Vertices per graph-window chunk during walk enumeration.
+    pub window_capacity: usize,
+    /// Buffer pool capacity per machine, bytes.
+    pub buffer_pool_bytes: u64,
+    /// Page size, bytes.
+    pub page_size: u64,
+    /// Superstep cap (e.g. 10 for the paper's Group 1 runs); `usize::MAX`
+    /// means run to convergence.
+    pub max_supersteps: usize,
+    /// Vertex-store delta maintenance policy (Figure 17).
+    pub maintenance: MaintenancePolicy,
+    pub opts: OptFlags,
+    /// Run partition phases on worker threads (one per machine). With
+    /// `false` the phases run sequentially — deterministic and easier to
+    /// debug; metrics are identical either way.
+    pub parallel: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            machines: 1,
+            window_capacity: 1024,
+            buffer_pool_bytes: 64 << 20,
+            page_size: 4096,
+            max_supersteps: usize::MAX,
+            maintenance: MaintenancePolicy::CostBased,
+            opts: OptFlags::default(),
+            parallel: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    pub fn with_machines(machines: usize) -> EngineConfig {
+        EngineConfig {
+            machines,
+            parallel: machines > 1,
+            ..EngineConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_all_optimizations() {
+        let c = EngineConfig::default();
+        assert!(c.opts.traversal_reorder && c.opts.neighbor_prune);
+        assert!(c.opts.seek_window_share && c.opts.min_count);
+        assert_eq!(c.machines, 1);
+    }
+
+    #[test]
+    fn base_flags_disable_all() {
+        let f = OptFlags::none();
+        assert!(!f.traversal_reorder && !f.neighbor_prune);
+        assert!(!f.seek_window_share && !f.min_count);
+    }
+}

@@ -1,0 +1,24 @@
+//! # itg-engine — the iTurboGraph runtime engine (paper §5)
+//!
+//! Executes compiled `L_NGA` programs over the dynamic graph store under
+//! the BSP model: one-shot plans by windowed walk enumeration, incremental
+//! plans by Δ-walk enumeration with traversal reordering, MS-BFS neighbor
+//! pruning, seek/window sharing, and group/monoid-aware incremental
+//! Accumulate. The cluster is simulated: vertices are hash-partitioned
+//! across worker "machines", cross-partition adjacency reads and
+//! pre-aggregated accumulator exchanges are charged as network bytes, and
+//! all store reads flow through per-machine buffer pools.
+
+pub mod accum;
+pub mod config;
+pub mod graph;
+pub mod metrics;
+pub mod msbfs;
+pub mod session;
+pub mod vexec;
+pub mod walker;
+
+pub use config::{EngineConfig, OptFlags};
+pub use graph::{ClusterGraph, GraphInput};
+pub use metrics::{RunKind, RunMetrics};
+pub use session::{EngineError, Session};

@@ -1,0 +1,1342 @@
+//! The execution session: the public API tying together the compiled
+//! program, the partitioned graph, and the BSP superstep driver for both
+//! one-shot (`P_Q`) and incremental (`P_ΔQ`) plans (paper §5.2).
+
+use crate::accum::{apply_contribution, reset_state, AccBuffer, AccmLayout, ApplyOutcome, Contribution};
+use crate::config::EngineConfig;
+use crate::graph::{ClusterGraph, GraphInput};
+use crate::metrics::{RunKind, RunMetrics};
+use crate::msbfs::{backward_msbfs, PruningLevels};
+use crate::vexec::{execute, VertexCtx};
+use crate::walker::{HopBinding, Walker};
+use itg_compiler::{ActionTarget, CompiledProgram, DeltaSubQuery, WalkQuery};
+use itg_gsa::expr::eval;
+use itg_gsa::value::{ColumnData, Value};
+use itg_gsa::{FxHashMap, FxHashSet, VertexId};
+use itg_lnga::AccmInfo;
+use itg_store::{AttrStore, IoSnapshot, MutationBatch, View};
+use std::time::Instant;
+
+/// Per-machine state: the vertex store pair and the working arrays of the
+/// current run.
+pub struct PartitionState {
+    pub worker: usize,
+    pub n_local: usize,
+    pub attr_store: AttrStore,
+    pub accm_store: AttrStore,
+    pub cur_attrs: Vec<ColumnData>,
+    pub prev_attrs: Vec<ColumnData>,
+    pub cur_accm: Vec<ColumnData>,
+    pub prev_accm: Vec<ColumnData>,
+    /// Local vertices whose attribute image changed vs the previous
+    /// snapshot at the current superstep (ΔA_{t,s}), as global ids.
+    pub changed: FxHashSet<VertexId>,
+    /// Local vertices whose degree changed in the latest batch.
+    pub degree_changed: FxHashSet<VertexId>,
+}
+
+/// Errors surfaced by the session API.
+#[derive(Debug)]
+pub enum EngineError {
+    Compile(itg_lnga::LngaError),
+    Unsupported(String),
+    UnknownAttr(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Compile(e) => write!(f, "{e}"),
+            EngineError::Unsupported(m) => write!(f, "unsupported program: {m}"),
+            EngineError::UnknownAttr(n) => write!(f, "unknown attribute `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<itg_lnga::LngaError> for EngineError {
+    fn from(e: itg_lnga::LngaError) -> EngineError {
+        EngineError::Compile(e)
+    }
+}
+
+/// An analytics session over a dynamic graph.
+pub struct Session {
+    pub cfg: EngineConfig,
+    pub program: CompiledProgram,
+    pub graph: ClusterGraph,
+    layout: AccmLayout,
+    parts: Vec<PartitionState>,
+    /// Global accumulator values: `[snapshot][superstep][global]`.
+    globals_history: Vec<Vec<Vec<Value>>>,
+    /// Supersteps executed per snapshot.
+    superstep_counts: Vec<usize>,
+    ran_oneshot: bool,
+}
+
+impl Session {
+    /// Create a session from `L_NGA` source text and an input graph.
+    pub fn from_source(
+        src: &str,
+        input: &GraphInput,
+        cfg: EngineConfig,
+    ) -> Result<Session, EngineError> {
+        let program = itg_compiler::compile_source(src)?;
+        Session::new(program, input, cfg)
+    }
+
+    /// Create a session from a compiled program.
+    pub fn new(
+        program: CompiledProgram,
+        input: &GraphInput,
+        cfg: EngineConfig,
+    ) -> Result<Session, EngineError> {
+        if program.symbols.uses_in_direction && input.undirected {
+            return Err(EngineError::Unsupported(
+                "in_nbrs/in_degree on an undirected graph (use nbrs/degree)".into(),
+            ));
+        }
+        if !program.incremental_safe {
+            return Err(EngineError::Unsupported(
+                "Traverse reads attributes of non-start walk vertices; the \
+                 engine's walk enumeration serves attributes of the walk's \
+                 first vertex only (see DESIGN.md §4.3 — restructure the \
+                 traversal so values flow from u1, as all the paper's \
+                 algorithms do)"
+                    .into(),
+            ));
+        }
+        let graph = ClusterGraph::load(input, cfg.machines, cfg.buffer_pool_bytes, cfg.page_size);
+        let layout = AccmLayout::new(&program.symbols.accms);
+        let attr_types: Vec<_> = program.symbols.attrs.iter().map(|a| a.ty).collect();
+        let accm_types = layout.column_types();
+        let mut parts = Vec::with_capacity(cfg.machines);
+        for w in 0..cfg.machines {
+            let n_local = graph.local_vertices(w).count();
+            let stats = graph.partitions[w].stats.clone();
+            let mut accm_store = AttrStore::new(
+                accm_types.clone(),
+                n_local,
+                cfg.maintenance,
+                stats.clone(),
+            );
+            accm_store.set_init(layout.identity_columns(n_local));
+            parts.push(PartitionState {
+                worker: w,
+                n_local,
+                attr_store: AttrStore::new(attr_types.clone(), n_local, cfg.maintenance, stats),
+                accm_store,
+                cur_attrs: Vec::new(),
+                prev_attrs: Vec::new(),
+                cur_accm: Vec::new(),
+                prev_accm: Vec::new(),
+                changed: FxHashSet::default(),
+                degree_changed: FxHashSet::default(),
+            });
+        }
+        Ok(Session {
+            cfg,
+            program,
+            graph,
+            layout,
+            parts,
+            globals_history: Vec::new(),
+            superstep_counts: Vec::new(),
+            ran_oneshot: false,
+        })
+    }
+
+    /// The current snapshot index.
+    pub fn snapshot(&self) -> usize {
+        self.graph.snapshot()
+    }
+
+    /// Read a vertex's attribute by name from the final state of the last
+    /// run.
+    pub fn attr_value(&self, v: VertexId, name: &str) -> Result<Value, EngineError> {
+        let idx = self
+            .program
+            .symbols
+            .attr_index(name)
+            .ok_or_else(|| EngineError::UnknownAttr(name.to_string()))?;
+        let w = self.graph.owner(v);
+        let l = self.graph.local_index(v);
+        Ok(self.parts[w].cur_attrs[idx].get(l))
+    }
+
+    /// Read a global accumulator's value at a superstep of the last run
+    /// (defaults to superstep 0 when `superstep` is `None` — the common
+    /// single-superstep analytics case).
+    pub fn global_value(&self, name: &str, superstep: Option<usize>) -> Result<Value, EngineError> {
+        let idx = self
+            .program
+            .symbols
+            .global_index(name)
+            .ok_or_else(|| EngineError::UnknownAttr(name.to_string()))?;
+        let snap = self.globals_history.last().ok_or_else(|| {
+            EngineError::Unsupported("no run has been executed yet".into())
+        })?;
+        let s = superstep.unwrap_or(0).min(snap.len().saturating_sub(1));
+        Ok(snap[s][idx].clone())
+    }
+
+    /// All final attribute values of `name` as a dense vector by vertex id.
+    pub fn attr_column(&self, name: &str) -> Result<Vec<Value>, EngineError> {
+        let idx = self
+            .program
+            .symbols
+            .attr_index(name)
+            .ok_or_else(|| EngineError::UnknownAttr(name.to_string()))?;
+        let n = self.graph.num_vertices();
+        let mut out = Vec::with_capacity(n);
+        for v in 0..n as u64 {
+            let w = self.graph.owner(v);
+            let l = self.graph.local_index(v);
+            out.push(self.parts[w].cur_attrs[idx].get(l));
+        }
+        Ok(out)
+    }
+
+    fn global_infos(&self) -> &[AccmInfo] {
+        &self.program.symbols.globals
+    }
+
+    fn identity_globals(&self) -> Vec<Value> {
+        self.global_infos()
+            .iter()
+            .map(|g| g.op.identity(g.prim))
+            .collect()
+    }
+
+    // ---------------------------------------------------------------
+    // One-shot execution (P_Q) at snapshot 0.
+    // ---------------------------------------------------------------
+
+    /// Run the one-shot analytics on the current graph. Must be the first
+    /// run of the session.
+    pub fn run_oneshot(&mut self) -> RunMetrics {
+        assert!(!self.ran_oneshot, "one-shot runs once, then apply mutations");
+        let t0 = Instant::now();
+        let io0 = self.graph.total_io();
+        let mut metrics = RunMetrics::new(RunKind::OneShot);
+
+        // Initialize.
+        let n_attr_types: Vec<_> = self.program.symbols.attrs.iter().map(|a| a.ty).collect();
+        for w in 0..self.cfg.machines {
+            let n_local = self.parts[w].n_local;
+            let mut cols: Vec<ColumnData> = n_attr_types
+                .iter()
+                .map(|&t| ColumnData::zeros(t, n_local))
+                .collect();
+            for (l, v) in self.graph.local_vertices(w).enumerate() {
+                let ctx = VertexCtx::new(v, l, &cols, None, &[], &self.graph);
+                execute(&self.program.init, &ctx, &mut |_, _| {});
+                for (attr, value) in ctx.into_writes() {
+                    cols[attr].set(l, &value);
+                }
+            }
+            self.parts[w].attr_store.set_init(cols.clone());
+            self.parts[w].cur_attrs = cols;
+            self.parts[w].cur_accm = self.layout.identity_columns(n_local);
+        }
+
+        let mut snapshot_globals: Vec<Vec<Value>> = Vec::new();
+        let mut s = 0usize;
+        loop {
+            let actives: Vec<Vec<VertexId>> = (0..self.cfg.machines)
+                .map(|w| self.active_vertices(w))
+                .collect();
+            let total_active: usize = actives.iter().map(|a| a.len()).sum();
+            metrics.work_units += total_active as u64;
+            if total_active == 0 || s >= self.cfg.max_supersteps {
+                break;
+            }
+
+            // Traverse phase.
+            let buffers: Vec<AccBuffer> = self.run_partition_phase(|sess, w| {
+                sess.oneshot_traverse(w, &actives[w])
+            });
+
+            // Exchange with partial pre-aggregation.
+            let (inbox, global_contrib) = self.exchange(buffers);
+
+            // Accumulate + record + Update.
+            let mut globals_s = self.identity_globals();
+            for (g, c) in global_contrib.iter().enumerate() {
+                let info = &self.global_infos()[g];
+                globals_s[g] = info.op.combine(&globals_s[g], &c.folded, info.prim);
+                if let Some(m) = &c.monoid {
+                    globals_s[g] = info.op.combine(&globals_s[g], &m.value, info.prim);
+                }
+            }
+            for w in 0..self.cfg.machines {
+                self.oneshot_apply_and_update(w, s, &inbox[w], &globals_s);
+            }
+            snapshot_globals.push(globals_s);
+            s += 1;
+        }
+
+        self.globals_history.push(snapshot_globals);
+        self.superstep_counts.push(s);
+        self.ran_oneshot = true;
+        metrics.supersteps = s;
+        metrics.io = self.graph.total_io().since(&io0);
+        metrics.wall = t0.elapsed();
+        metrics
+    }
+
+    fn active_vertices(&self, w: usize) -> Vec<VertexId> {
+        let part = &self.parts[w];
+        let mut out = Vec::new();
+        for (l, v) in self.graph.local_vertices(w).enumerate() {
+            if part.cur_attrs[0].get(l) == Value::Bool(true) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Enumerate all one-shot walks for a worker's active vertices.
+    fn oneshot_traverse(&self, w: usize, actives: &[VertexId]) -> AccBuffer {
+        let mut buffer = AccBuffer::new(&self.program.symbols.accms, self.global_infos());
+        let symbols = &self.program.symbols;
+        let part = &self.parts[w];
+        for chunk in actives.chunks(self.cfg.window_capacity.max(1)) {
+            for &v in chunk {
+                let local = self.graph.local_index(v);
+                for q in &self.program.traverse.queries {
+                    let bindings = vec![HopBinding::View(View::New); q.hops.len()];
+                    let allowed = vec![None; q.hops.len()];
+                    self.enumerate_query(
+                        w,
+                        q,
+                        v,
+                        1,
+                        &bindings,
+                        &allowed,
+                        &part.cur_attrs,
+                        local,
+                        View::New,
+                        symbols,
+                        &mut buffer,
+                        None,
+                    );
+                }
+            }
+        }
+        buffer
+    }
+
+    /// Run a query from one start vertex, feeding actions into `buffer`.
+    /// `target_filter` restricts a specific accumulator's targets (the
+    /// recompute path).
+    #[allow(clippy::too_many_arguments)]
+    fn enumerate_query(
+        &self,
+        w: usize,
+        q: &WalkQuery,
+        start: VertexId,
+        start_mult: i64,
+        bindings: &[HopBinding],
+        allowed: &[Option<&FxHashSet<VertexId>>],
+        attrs: &[ColumnData],
+        local: usize,
+        deg_view: View,
+        symbols: &itg_lnga::Symbols,
+        buffer: &mut AccBuffer,
+        target_filter: Option<(usize, &FxHashSet<VertexId>)>,
+    ) {
+        // Start filter (beyond `active`).
+        if let Some(f) = &q.start_filter {
+            let walk = [start];
+            let ctx = crate::walker::WalkCtx {
+                walk: &walk,
+                attrs,
+                local,
+                deg_view,
+                graph: &self.graph,
+            };
+            if !eval(f, &ctx).map(|v| v.as_bool().unwrap_or(false)).unwrap_or(false) {
+                return;
+            }
+        }
+        let walker = Walker {
+            graph: &self.graph,
+            worker: w,
+            query: q,
+            bindings,
+            allowed,
+            attrs,
+            local,
+            deg_view,
+            use_intersection: true,
+        };
+        walker.enumerate(start, start_mult, &mut |ai, walk, mult, ctx| {
+            let action = &q.actions[ai];
+            let value = eval(&action.value, ctx).expect("action value evaluation");
+            match &action.target {
+                ActionTarget::VertexAccm { pos, accm } => {
+                    if let Some((fa, set)) = &target_filter {
+                        if fa != accm || !set.contains(&walk[*pos]) {
+                            return;
+                        }
+                    }
+                    buffer.add_vertex(*accm, &symbols.accms[*accm], walk[*pos], &value, mult);
+                }
+                ActionTarget::Global(g) => {
+                    if target_filter.is_some() {
+                        return;
+                    }
+                    buffer.add_global(*g, &symbols.globals[*g], &value, mult);
+                }
+            }
+        });
+    }
+
+    /// Route contributions to their owners (partial pre-aggregation has
+    /// already folded per-target within each sender).
+    fn exchange(
+        &self,
+        buffers: Vec<AccBuffer>,
+    ) -> (Vec<Vec<FxHashMap<VertexId, Contribution>>>, Vec<Contribution>) {
+        let m = self.cfg.machines;
+        let n_accms = self.layout.num_accms();
+        let mut inbox: Vec<Vec<FxHashMap<VertexId, Contribution>>> =
+            (0..m).map(|_| (0..n_accms).map(|_| FxHashMap::default()).collect()).collect();
+        let mut globals: Vec<Contribution> = self
+            .global_infos()
+            .iter()
+            .map(|g| Contribution::identity(g.op, g.prim))
+            .collect();
+        for (w, buf) in buffers.into_iter().enumerate() {
+            for (a, map) in buf.vertex.into_iter().enumerate() {
+                let info = &self.program.symbols.accms[a];
+                for (v, c) in map {
+                    let owner = self.graph.owner(v);
+                    if owner != w {
+                        self.graph.partitions[w].stats.add_net(c.wire_bytes());
+                    }
+                    inbox[owner][a]
+                        .entry(v)
+                        .or_insert_with(|| Contribution::identity(info.op, info.prim))
+                        .merge(&c, info.op, info.prim);
+                }
+            }
+            for (g, c) in buf.globals.into_iter().enumerate() {
+                let info = &self.global_infos()[g];
+                if c.count != 0 || !c.retractions.is_empty() {
+                    self.graph.partitions[w].stats.add_net(c.wire_bytes());
+                }
+                globals[g].merge(&c, info.op, info.prim);
+            }
+        }
+        (inbox, globals)
+    }
+
+    /// One-shot: apply contributions onto identity accumulator state,
+    /// record the superstep's stores, and run Update.
+    fn oneshot_apply_and_update(
+        &mut self,
+        w: usize,
+        s: usize,
+        inbox: &[FxHashMap<VertexId, Contribution>],
+        globals_s: &[Value],
+    ) {
+        let layout = self.layout.clone();
+        // Fresh identity state for this superstep.
+        let n_local = self.parts[w].n_local;
+        let mut accm = layout.identity_columns(n_local);
+        let mut touched: FxHashSet<VertexId> = FxHashSet::default();
+        for (a, map) in inbox.iter().enumerate() {
+            for (v, c) in map {
+                let l = self.graph.local_index(*v);
+                let out = apply_contribution(&layout, &mut accm, l, a, c, true);
+                debug_assert_ne!(out, ApplyOutcome::NeedsRecompute, "one-shot is insert-only");
+                touched.insert(*v);
+            }
+        }
+        // Record accumulator after-images for touched vertices.
+        let mut touched_sorted: Vec<VertexId> = touched.iter().copied().collect();
+        touched_sorted.sort_unstable();
+        let (vids, cols) = rows_of(&self.graph, &layout.column_types(), &accm, &touched_sorted);
+        self.parts[w].accm_store.record_run(0, s, vids, cols);
+
+        // Update phase.
+        let part = &self.parts[w];
+        let mut new_attrs = part.cur_attrs.clone();
+        set_all_false(&mut new_attrs[0]);
+        let mut changed: Vec<VertexId> = Vec::new();
+        let mut update_globals: Vec<(usize, Value)> = Vec::new();
+        for &v in &touched_sorted {
+            let l = self.graph.local_index(v);
+            let ctx = VertexCtx::new(
+                v,
+                l,
+                &part.cur_attrs,
+                Some((&layout, &accm)),
+                globals_s,
+                &self.graph,
+            );
+            execute(&self.program.update, &ctx, &mut |g, val| {
+                update_globals.push((g, val.clone()));
+            });
+            for (attr, value) in ctx.into_writes() {
+                new_attrs[attr].set(l, &value);
+            }
+        }
+        // Changed set: previously-active (deactivation) ∪ updated rows.
+        let mut candidates: FxHashSet<VertexId> = touched_sorted.iter().copied().collect();
+        for (l, v) in self.graph.local_vertices(w).enumerate() {
+            if part.cur_attrs[0].get(l) == Value::Bool(true) {
+                candidates.insert(v);
+            }
+        }
+        for &v in &candidates {
+            let l = self.graph.local_index(v);
+            if row_differs(&new_attrs, &part.cur_attrs, l) {
+                changed.push(v);
+            }
+        }
+        changed.sort_unstable();
+        let attr_types: Vec<_> = self.program.symbols.attrs.iter().map(|a| a.ty).collect();
+        let (vids, cols) = rows_of(&self.graph, &attr_types, &new_attrs, &changed);
+        let part = &mut self.parts[w];
+        part.attr_store.record_run(0, s + 1, vids, cols);
+        part.cur_attrs = new_attrs;
+        part.cur_accm = accm;
+        drop(update_globals); // one-shot Update global accumulation folds below
+    }
+
+    /// Run a per-partition phase, optionally in parallel worker threads.
+    fn run_partition_phase<R: Send>(
+        &self,
+        f: impl Fn(&Session, usize) -> R + Sync,
+    ) -> Vec<R> {
+        if self.cfg.parallel && self.cfg.machines > 1 {
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..self.cfg.machines)
+                    .map(|w| {
+                        let f = &f;
+                        scope.spawn(move |_| f(self, w))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .unwrap()
+        } else {
+            (0..self.cfg.machines).map(|w| f(self, w)).collect()
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Mutation ingestion and incremental execution (P_ΔQ).
+    // ---------------------------------------------------------------
+
+    /// Apply a mutation batch, advancing to the next snapshot.
+    pub fn apply_mutations(&mut self, batch: &MutationBatch) {
+        self.graph.apply_batch(batch);
+        // Grow per-partition state to the new vertex space.
+        let identity_row: Vec<Value> = {
+            let cols = self.layout.identity_columns(1);
+            (0..cols.len()).map(|c| cols[c].get(0)).collect()
+        };
+        for w in 0..self.cfg.machines {
+            let n_local = self.graph.local_vertices(w).count();
+            let part = &mut self.parts[w];
+            part.attr_store.grow(n_local);
+            part.accm_store.grow_with(n_local, Some(&identity_row));
+            part.n_local = n_local;
+            // Degree-changed endpoints (owned side).
+            part.degree_changed.clear();
+        }
+        self.graph.for_each_delta_edge(itg_gsa::EdgeDir::Out, |s, d, _| {
+            self.parts[self.graph.owner(s)].degree_changed.insert(s);
+            self.parts[self.graph.owner(d)].degree_changed.insert(d);
+        });
+    }
+
+    /// Run the incremental analytics for the latest snapshot. Panics on
+    /// protocol misuse or a program outside the incremental fragment; use
+    /// [`Self::try_run_incremental`] for the fallible form.
+    pub fn run_incremental(&mut self) -> RunMetrics {
+        self.try_run_incremental()
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible incremental run: errors when no one-shot has run, no batch
+    /// is pending, or the program is outside the incrementally-supported
+    /// fragment (deep attribute reads; global accumulation in Update;
+    /// degree-dependent Initialize).
+    pub fn try_run_incremental(&mut self) -> Result<RunMetrics, EngineError> {
+        if !self.ran_oneshot {
+            return Err(EngineError::Unsupported(
+                "run the one-shot analytics first".into(),
+            ));
+        }
+        let t = self.snapshot();
+        if t < 1 || t <= self.superstep_counts.len() - 1 {
+            return Err(EngineError::Unsupported(
+                "apply a mutation batch before running incrementally".into(),
+            ));
+        }
+        if !self.program.incremental_safe {
+            return Err(EngineError::Unsupported(
+                "Traverse reads attributes of non-start walk vertices; the \
+                 incremental fragment restricts attribute reads to the walk's \
+                 first vertex (see DESIGN.md §4.3)"
+                    .into(),
+            ));
+        }
+        if self.program.analysis.update_accumulates_globals {
+            return Err(EngineError::Unsupported(
+                "Update accumulates into globals; incremental ΔUpdate cannot \
+                 re-derive global deltas for it"
+                    .into(),
+            ));
+        }
+        if self.program.analysis.init_reads_degree {
+            return Err(EngineError::Unsupported(
+                "Initialize reads degrees; initial values would change under \
+                 mutations, which incremental runs do not re-derive"
+                    .into(),
+            ));
+        }
+        let t0 = Instant::now();
+        let io0 = self.graph.total_io();
+        let mut metrics = RunMetrics::new(RunKind::Incremental);
+        let prev_k = self.superstep_counts[t - 1];
+
+        // Setup: prev = A_{t-1,0}; cur = prev + Initialize for new vertices.
+        let attr_types: Vec<_> = self.program.symbols.attrs.iter().map(|a| a.ty).collect();
+        let n_old = self.graph.num_vertices_old();
+        for w in 0..self.cfg.machines {
+            let part = &mut self.parts[w];
+            let mut prev = part.attr_store.materialize_init();
+            part.attr_store.load_superstep_before(0, t, &mut prev);
+            let mut cur = prev.clone();
+            part.changed.clear();
+            // New vertices: Initialize them in the current snapshot.
+            let mut new_rows: Vec<VertexId> = Vec::new();
+            for (l, v) in self.graph.local_vertices(w).enumerate() {
+                if (v as usize) >= n_old {
+                    new_rows.push(v);
+                    let ctx = VertexCtx::new(v, l, &cur, None, &[], &self.graph);
+                    execute(&self.program.init, &ctx, &mut |_, _| {});
+                    for (attr, value) in ctx.into_writes() {
+                        cur[attr].set(l, &value);
+                    }
+                    part.changed.insert(v);
+                }
+            }
+            let (vids, cols) = rows_of(&self.graph, &attr_types, &cur, &new_rows);
+            if !vids.is_empty() {
+                part.attr_store.record_run(t, 0, vids, cols);
+            }
+            part.prev_attrs = prev;
+            part.cur_attrs = cur;
+        }
+
+        // Precompute the pruning levels for the edge-delta sub-queries
+        // (the delta edges are fixed for the whole snapshot).
+        let pruning = self.compute_pruning();
+
+        let mut snapshot_globals: Vec<Vec<Value>> = Vec::new();
+        let mut s = 0usize;
+        let debug = std::env::var_os("ITG_DEBUG").is_some();
+        loop {
+            let total_changed: usize = self.parts.iter().map(|p| p.changed.len()).sum();
+            metrics.work_units += total_changed as u64;
+            if debug {
+                eprintln!(
+                    "[itg] t={t} s={s} changed={total_changed} recomputed={}",
+                    metrics.recomputed_vertices
+                );
+            }
+
+            // Advance accumulator prev/cur arrays to superstep s.
+            for w in 0..self.cfg.machines {
+                let part = &mut self.parts[w];
+                let mut prev = self.layout.identity_columns(part.n_local);
+                part.accm_store.load_superstep_before(s, t, &mut prev);
+                part.cur_accm = prev.clone();
+                part.prev_accm = prev;
+            }
+
+            // ΔTraverse.
+            let buffers: Vec<AccBuffer> =
+                self.run_partition_phase(|sess, w| sess.delta_traverse(w, &pruning));
+            let (inbox, global_contrib) = self.exchange(buffers);
+
+            // Apply deltas onto accumulator state; collect recomputes.
+            let mut recompute: Vec<FxHashSet<VertexId>> =
+                (0..self.layout.num_accms()).map(|_| FxHashSet::default()).collect();
+            let mut changed_accm: Vec<FxHashSet<VertexId>> =
+                (0..self.cfg.machines).map(|_| FxHashSet::default()).collect();
+            for w in 0..self.cfg.machines {
+                let layout = self.layout.clone();
+                let use_cnt = self.cfg.opts.min_count;
+                let part = &mut self.parts[w];
+                for (a, map) in inbox[w].iter().enumerate() {
+                    for (v, c) in map {
+                        let l = self.graph.local_index(*v);
+                        match apply_contribution(&layout, &mut part.cur_accm, l, a, c, use_cnt) {
+                            ApplyOutcome::Unchanged => {}
+                            ApplyOutcome::Changed => {
+                                changed_accm[w].insert(*v);
+                            }
+                            ApplyOutcome::NeedsRecompute => {
+                                recompute[a].insert(*v);
+                                changed_accm[w].insert(*v);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Monoid recomputation (paper §5.4): reset and re-derive the
+            // affected accumulators from a pruned one-shot enumeration.
+            let n_recompute: usize = recompute.iter().map(|r| r.len()).sum();
+            if n_recompute > 0 {
+                metrics.recomputed_vertices += n_recompute as u64;
+                self.recompute_accumulators(&recompute, &mut changed_accm);
+            }
+
+            // Record accumulator runs.
+            for w in 0..self.cfg.machines {
+                let layout_types = self.layout.column_types();
+                let mut rows: Vec<VertexId> = changed_accm[w].iter().copied().collect();
+                rows.sort_unstable();
+                let part = &mut self.parts[w];
+                let (vids, cols) = rows_of(&self.graph, &layout_types, &part.cur_accm, &rows);
+                if !vids.is_empty() {
+                    part.accm_store.record_run(t, s, vids, cols);
+                }
+            }
+
+            // Globals: fold the delta into the previous snapshot's value.
+            let prev_globals: Vec<Value> = self
+                .globals_history
+                .get(t - 1)
+                .and_then(|gh| gh.get(s))
+                .cloned()
+                .unwrap_or_else(|| self.identity_globals());
+            let mut globals_s = prev_globals.clone();
+            let mut needs_global_recompute = false;
+            for (g, c) in global_contrib.iter().enumerate() {
+                let info = &self.global_infos()[g];
+                if info.op.is_group() && c.retractions.is_empty() {
+                    globals_s[g] = info.op.combine(&globals_s[g], &c.folded, info.prim);
+                } else if c.count != 0 || !c.retractions.is_empty() || c.monoid.is_some() {
+                    needs_global_recompute = true;
+                }
+            }
+            if needs_global_recompute {
+                globals_s = self.recompute_globals();
+            }
+            let globals_changed = globals_s != prev_globals;
+
+            // ΔUpdate.
+            let changed_next =
+                self.delta_update(t, s, prev_k, &changed_accm, &globals_s, globals_changed);
+            snapshot_globals.push(globals_s);
+            for (w, set) in changed_next.into_iter().enumerate() {
+                self.parts[w].changed = set;
+            }
+
+            s += 1;
+            let active: usize = (0..self.cfg.machines)
+                .map(|w| self.active_vertices(w).len())
+                .sum();
+            if (s >= prev_k && active == 0) || s >= self.cfg.max_supersteps {
+                break;
+            }
+        }
+
+        self.globals_history.push(snapshot_globals);
+        self.superstep_counts.push(s);
+        metrics.supersteps = s;
+        metrics.io = self.graph.total_io().since(&io0);
+        metrics.wall = t0.elapsed();
+        Ok(metrics)
+    }
+
+    /// Backward MS-BFS levels per delta sub-query (edge-delta ones only).
+    fn compute_pruning(&self) -> Vec<Option<PruningLevels>> {
+        self.program
+            .delta_traverse
+            .iter()
+            .map(|sq| {
+                if sq.delta_stream == 0 {
+                    return None;
+                }
+                if !(self.cfg.opts.traversal_reorder || self.cfg.opts.neighbor_prune) {
+                    return None;
+                }
+                let q = &self.program.traverse.queries[sq.query];
+                let hop = &q.hops[sq.delta_stream - 1];
+                // Seeds: delta edge sources along the hop's direction.
+                let mut seeds = FxHashSet::default();
+                self.graph.for_each_delta_edge(hop.dir, |src, _dst, _m| {
+                    seeds.insert(src);
+                });
+                Some(backward_msbfs(&self.graph, q, &sq.pruning_path, seeds))
+            })
+            .collect()
+    }
+
+    /// ΔTraverse for one worker: all Rule ⑦ sub-queries, batched per start
+    /// vertex when seek/window sharing is enabled.
+    fn delta_traverse(&self, w: usize, pruning: &[Option<PruningLevels>]) -> AccBuffer {
+        let mut buffer = AccBuffer::new(&self.program.symbols.accms, self.global_infos());
+        // Build per-sub-query start lists.
+        let mut tasks: Vec<(usize, Vec<VertexId>)> = Vec::new();
+        for (i, sq) in self.program.delta_traverse.iter().enumerate() {
+            let starts = self.subquery_starts(w, sq, pruning[i].as_ref());
+            if !starts.is_empty() {
+                tasks.push((i, starts));
+            }
+        }
+        if self.cfg.opts.seek_window_share {
+            // Interleave: iterate the union of starts in order, running
+            // every relevant sub-query while the start's neighborhood is
+            // hot in the buffer pool.
+            let mut by_start: std::collections::BTreeMap<VertexId, Vec<usize>> =
+                std::collections::BTreeMap::new();
+            for (i, starts) in &tasks {
+                for &v in starts {
+                    by_start.entry(v).or_default().push(*i);
+                }
+            }
+            for (v, sqs) in by_start {
+                for i in sqs {
+                    self.run_subquery(w, i, v, pruning[i].as_ref(), &mut buffer);
+                }
+            }
+        } else {
+            for (i, starts) in tasks {
+                for v in starts {
+                    self.run_subquery(w, i, v, pruning[i].as_ref(), &mut buffer);
+                }
+            }
+        }
+        buffer
+    }
+
+    /// The start-vertex list of one sub-query on one worker.
+    fn subquery_starts(
+        &self,
+        w: usize,
+        sq: &DeltaSubQuery,
+        pruning: Option<&PruningLevels>,
+    ) -> Vec<VertexId> {
+        let part = &self.parts[w];
+        if sq.delta_stream == 0 {
+            // Δvs: changed attribute images (plus degree changes when the
+            // program reads degrees).
+            let mut starts: Vec<VertexId> = part.changed.iter().copied().collect();
+            if self.program.analysis.traverse_reads_degree {
+                starts.extend(part.degree_changed.iter().copied());
+                starts.sort_unstable();
+                starts.dedup();
+            } else {
+                starts.sort_unstable();
+            }
+            starts
+        } else if self.cfg.opts.traversal_reorder || self.cfg.opts.neighbor_prune {
+            let candidates = pruning.expect("pruning computed").start_candidates();
+            let mut starts: Vec<VertexId> = candidates
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    self.graph.owner(v) == w
+                        && self.parts[w].cur_attrs[0].get(self.graph.local_index(v))
+                            == Value::Bool(true)
+                })
+                .collect();
+            starts.sort_unstable();
+            starts
+        } else {
+            // BASE: every active vertex re-enumerates against the delta.
+            self.active_vertices(w)
+        }
+    }
+
+    /// Execute one sub-query from one start vertex.
+    fn run_subquery(
+        &self,
+        w: usize,
+        sq_idx: usize,
+        start: VertexId,
+        pruning: Option<&PruningLevels>,
+        buffer: &mut AccBuffer,
+    ) {
+        let sq = &self.program.delta_traverse[sq_idx];
+        let q = &self.program.traverse.queries[sq.query];
+        let part = &self.parts[w];
+        let local = self.graph.local_index(start);
+        let symbols = &self.program.symbols;
+        let k = q.hops.len();
+        if sq.delta_stream == 0 {
+            // ω(Δvs, es, …): old edges; both images of the start vertex.
+            let bindings = vec![HopBinding::View(View::Old); k];
+            let allowed = vec![None; k];
+            let n_old = self.graph.num_vertices_old();
+            let old_ok = (start as usize) < n_old
+                && part.prev_attrs[0].get(local) == Value::Bool(true)
+                && self.passes_start_filter(q, start, &part.prev_attrs, local, View::Old);
+            let new_ok = part.cur_attrs[0].get(local) == Value::Bool(true)
+                && self.passes_start_filter(q, start, &part.cur_attrs, local, View::New);
+            // Value-change-aware dual enumeration (paper §6.2.1: do not
+            // perform computations if the value does not change): when both
+            // images are live and the walk *shape* cannot depend on the
+            // image (hop constraints read only ids), enumerate the shared
+            // walk set once and emit contributions only where the old- and
+            // new-image values differ.
+            if old_ok && new_ok && hops_are_image_independent(q) {
+                // Hoisted skip: when every action's value depends only on
+                // the start vertex, compare the old/new values once — if
+                // none changed, no walk can contribute and the whole
+                // enumeration is skipped (the paper's §6.2.1 value-change
+                // check). Typical for the one-hop algorithms, where the
+                // integer truncation kills most of the ripple here.
+                let hoistable = q
+                    .actions
+                    .iter()
+                    .all(|a| a.value.max_walk_pos().unwrap_or(0) == 0);
+                if hoistable {
+                    let walk = [start];
+                    let new_ctx = crate::walker::WalkCtx {
+                        walk: &walk,
+                        attrs: &part.cur_attrs,
+                        local,
+                        deg_view: View::New,
+                        graph: &self.graph,
+                    };
+                    let old_ctx = crate::walker::WalkCtx {
+                        walk: &walk,
+                        attrs: &part.prev_attrs,
+                        local,
+                        deg_view: View::Old,
+                        graph: &self.graph,
+                    };
+                    let any_changed = q.actions.iter().any(|a| {
+                        eval(&a.value, &new_ctx).expect("action value")
+                            != eval(&a.value, &old_ctx).expect("action value")
+                    });
+                    if !any_changed {
+                        return;
+                    }
+                }
+                let walker = Walker {
+                    graph: &self.graph,
+                    worker: w,
+                    query: q,
+                    bindings: &bindings,
+                    allowed: &allowed,
+                    attrs: &part.cur_attrs,
+                    local,
+                    deg_view: View::New,
+                    use_intersection: true,
+                };
+                walker.enumerate(start, 1, &mut |ai, walk, mult, new_ctx| {
+                    let action = &q.actions[ai];
+                    // Action conds are image-independent here (gated by
+                    // `hops_are_image_independent`), so firing under the
+                    // new image implies firing under the old one.
+                    let old_ctx = crate::walker::WalkCtx {
+                        walk,
+                        attrs: &part.prev_attrs,
+                        local,
+                        deg_view: View::Old,
+                        graph: &self.graph,
+                    };
+                    let new_val = eval(&action.value, new_ctx).expect("action value");
+                    let old_val = eval(&action.value, &old_ctx).expect("action value");
+                    if new_val == old_val {
+                        return; // value unchanged: contributions cancel
+                    }
+                    let mut emit = |val: &Value, m: i64| match &action.target {
+                        ActionTarget::VertexAccm { pos, accm } => {
+                            buffer.add_vertex(*accm, &symbols.accms[*accm], walk[*pos], val, m);
+                        }
+                        ActionTarget::Global(g) => {
+                            buffer.add_global(*g, &symbols.globals[*g], val, m);
+                        }
+                    };
+                    emit(&old_val, -mult);
+                    emit(&new_val, mult);
+                });
+                return;
+            }
+            if old_ok {
+                self.enumerate_query(
+                    w, q, start, -1, &bindings, &allowed, &part.prev_attrs, local,
+                    View::Old, symbols, buffer, None,
+                );
+            }
+            if new_ok {
+                self.enumerate_query(
+                    w, q, start, 1, &bindings, &allowed, &part.cur_attrs, local,
+                    View::New, symbols, buffer, None,
+                );
+            }
+        } else {
+            let j = sq.delta_stream - 1; // delta hop index
+            let bindings: Vec<HopBinding> = (0..k)
+                .map(|h| {
+                    if h < j {
+                        HopBinding::View(View::New)
+                    } else if h == j {
+                        HopBinding::Delta
+                    } else {
+                        HopBinding::View(View::Old)
+                    }
+                })
+                .collect();
+            // Neighbor pruning: allowed sets along the pruning path.
+            let mut allowed: Vec<Option<&FxHashSet<VertexId>>> = vec![None; k];
+            if self.cfg.opts.neighbor_prune {
+                if let Some(p) = pruning {
+                    for (pi, &hop_idx) in sq.pruning_path.iter().enumerate() {
+                        allowed[hop_idx] = Some(p.allowed_for_path_hop(pi));
+                    }
+                }
+            }
+            self.enumerate_query(
+                w, q, start, 1, &bindings, &allowed, &part.cur_attrs, local, View::New,
+                symbols, buffer, None,
+            );
+        }
+    }
+
+    /// Monoid recomputation: reset the affected accumulators, find the
+    /// candidate start vertices by backward MS-BFS from the affected set,
+    /// and re-derive their values from a restricted one-shot enumeration.
+    fn recompute_accumulators(
+        &mut self,
+        recompute: &[FxHashSet<VertexId>],
+        changed_accm: &mut [FxHashSet<VertexId>],
+    ) {
+        let layout = self.layout.clone();
+        // Reset affected rows.
+        for (a, set) in recompute.iter().enumerate() {
+            for &v in set {
+                let w = self.graph.owner(v);
+                let l = self.graph.local_index(v);
+                reset_state(&layout, &mut self.parts[w].cur_accm, l, a);
+                self.graph.partitions[w].stats.add_recomputation();
+            }
+        }
+        // Candidate starts per accumulator.
+        let mut buffers: Vec<AccBuffer> = (0..self.cfg.machines)
+            .map(|_| AccBuffer::new(&self.program.symbols.accms, self.global_infos()))
+            .collect();
+        for (a, v_aff) in recompute.iter().enumerate() {
+            if v_aff.is_empty() {
+                continue;
+            }
+            for q in &self.program.traverse.queries {
+                for action in &q.actions {
+                    let ActionTarget::VertexAccm { pos, accm } = &action.target else {
+                        continue;
+                    };
+                    if accm != &a {
+                        continue;
+                    }
+                    let path = q.path_to(*pos);
+                    let levels = backward_msbfs(&self.graph, q, &path, v_aff.clone());
+                    let v_re = levels.start_candidates();
+                    for &start in v_re {
+                        let w = self.graph.owner(start);
+                        let l = self.graph.local_index(start);
+                        if self.parts[w].cur_attrs[0].get(l) != Value::Bool(true) {
+                            continue;
+                        }
+                        let bindings = vec![HopBinding::View(View::New); q.hops.len()];
+                        let allowed = vec![None; q.hops.len()];
+                        let mut buf = std::mem::replace(
+                            &mut buffers[w],
+                            AccBuffer::new(&self.program.symbols.accms, self.global_infos()),
+                        );
+                        self.enumerate_query(
+                            w,
+                            q,
+                            start,
+                            1,
+                            &bindings,
+                            &allowed,
+                            &self.parts[w].cur_attrs,
+                            l,
+                            View::New,
+                            &self.program.symbols,
+                            &mut buf,
+                            Some((a, v_aff)),
+                        );
+                        buffers[w] = buf;
+                    }
+                }
+            }
+        }
+        let (inbox, _globals) = self.exchange(buffers);
+        for w in 0..self.cfg.machines {
+            let part = &mut self.parts[w];
+            for (a, map) in inbox[w].iter().enumerate() {
+                for (v, c) in map {
+                    let l = self.graph.local_index(*v);
+                    let out = apply_contribution(&layout, &mut part.cur_accm, l, a, c, true);
+                    debug_assert_ne!(out, ApplyOutcome::NeedsRecompute);
+                }
+            }
+        }
+        // Affected rows are changed (vs prev) unless they recomputed back
+        // to the identical state; compare to be precise.
+        for (_a, set) in recompute.iter().enumerate() {
+            for &v in set {
+                let w = self.graph.owner(v);
+                let l = self.graph.local_index(v);
+                let differs = (0..layout.num_cols).any(|c| {
+                    self.parts[w].cur_accm[c].get(l) != self.parts[w].prev_accm[c].get(l)
+                });
+                if differs {
+                    changed_accm[w].insert(v);
+                } else {
+                    changed_accm[w].remove(&v);
+                }
+            }
+        }
+    }
+
+    /// Recompute global accumulators by re-running the traverse for global
+    /// actions only (the fallback for monoid globals under deletions).
+    fn recompute_globals(&self) -> Vec<Value> {
+        let buffers: Vec<AccBuffer> = self.run_partition_phase(|sess, w| {
+            let actives = sess.active_vertices(w);
+            sess.oneshot_traverse(w, &actives)
+        });
+        let (_inbox, globals) = self.exchange(buffers);
+        let mut out = self.identity_globals();
+        for (g, c) in globals.iter().enumerate() {
+            let info = &self.global_infos()[g];
+            out[g] = info.op.combine(&out[g], &c.folded, info.prim);
+            if let Some(m) = &c.monoid {
+                out[g] = info.op.combine(&out[g], &m.value, info.prim);
+            }
+        }
+        out
+    }
+
+    /// ΔUpdate: recompute Update for the trigger set, diff against the
+    /// previous snapshot's next-superstep image, and record the deltas.
+    #[allow(clippy::too_many_arguments)]
+    fn delta_update(
+        &mut self,
+        t: usize,
+        s: usize,
+        _prev_k: usize,
+        changed_accm: &[FxHashSet<VertexId>],
+        globals_s: &[Value],
+        globals_changed: bool,
+    ) -> Vec<FxHashSet<VertexId>> {
+        let layout = self.layout.clone();
+        let attr_types: Vec<_> = self.program.symbols.attrs.iter().map(|a| a.ty).collect();
+        let analysis = self.program.analysis;
+        let mut result = Vec::with_capacity(self.cfg.machines);
+        for w in 0..self.cfg.machines {
+            // Advance prev to A_{t-1, s+1}.
+            {
+                let part = &mut self.parts[w];
+                let (prev, store) = (&mut part.prev_attrs, &part.attr_store);
+                store.load_superstep_before(s + 1, t, prev);
+            }
+            let part = &self.parts[w];
+
+            // Trigger set.
+            let mut trigger: FxHashSet<VertexId> = part.changed.clone();
+            trigger.extend(changed_accm[w].iter().copied());
+            let touched = |cols: &[ColumnData], l: usize| layout.touched(cols, l);
+            if globals_changed && analysis.update_reads_globals {
+                for (l, v) in self.graph.local_vertices(w).enumerate() {
+                    if touched(&part.cur_accm, l) || touched(&part.prev_accm, l) {
+                        trigger.insert(v);
+                    }
+                }
+            }
+            if analysis.update_reads_degree {
+                for &v in &part.degree_changed {
+                    let l = self.graph.local_index(v);
+                    if touched(&part.cur_accm, l) || touched(&part.prev_accm, l) {
+                        trigger.insert(v);
+                    }
+                }
+            }
+
+            // New image: non-trigger rows take the previous snapshot's
+            // next-superstep values (they are provably identical).
+            let mut new_attrs = part.prev_attrs.clone();
+            let mut changed_next: Vec<VertexId> = Vec::new();
+            // The store's overlay invariant (paper §5.5) requires the run
+            // at (t, s+1) to contain v when A_{t,s+1}(v) ≠ A_{t-1,s+1}(v)
+            // *or* A_{t,s+1}(v) ≠ A_{t,s}(v) — without the second
+            // condition, a snapshot that outlives its predecessor leaves
+            // stale images (e.g. an eternally-active vertex) for the next
+            // snapshot to reconstruct.
+            let mut record_set: Vec<VertexId> = Vec::new();
+            let mut trigger_sorted: Vec<VertexId> = trigger.into_iter().collect();
+            trigger_sorted.sort_unstable();
+            for &v in &trigger_sorted {
+                let l = self.graph.local_index(v);
+                // Base: the carried current image, deactivated.
+                let mut row: Vec<Value> = (0..attr_types.len())
+                    .map(|c| part.cur_attrs[c].get(l))
+                    .collect();
+                let row_at_s = row.clone();
+                row[0] = Value::Bool(false);
+                if touched(&part.cur_accm, l) {
+                    let ctx = VertexCtx::new(
+                        v,
+                        l,
+                        &part.cur_attrs,
+                        Some((&layout, &part.cur_accm)),
+                        globals_s,
+                        &self.graph,
+                    );
+                    execute(&self.program.update, &ctx, &mut |_, _| {});
+                    for (attr, value) in ctx.into_writes() {
+                        if attr == 0 {
+                            row[0] = value;
+                        } else {
+                            row[attr] = value;
+                        }
+                    }
+                }
+                let differs_prev = (0..attr_types.len())
+                    .any(|c| row[c] != part.prev_attrs[c].get(l));
+                let differs_superstep =
+                    (0..attr_types.len()).any(|c| row[c] != row_at_s[c]);
+                if differs_prev {
+                    changed_next.push(v);
+                }
+                if differs_prev || differs_superstep {
+                    record_set.push(v);
+                }
+                for (c, val) in row.iter().enumerate() {
+                    new_attrs[c].set(l, val);
+                }
+            }
+            changed_next.sort_unstable();
+            record_set.sort_unstable();
+            let (vids, cols) = rows_of(&self.graph, &attr_types, &new_attrs, &record_set);
+            let part = &mut self.parts[w];
+            if !vids.is_empty() {
+                part.attr_store.record_run(t, s + 1, vids, cols);
+            }
+            part.cur_attrs = new_attrs;
+            result.push(changed_next.into_iter().collect());
+        }
+        result
+    }
+
+    /// Aggregate IO snapshot (graph + stores share the same counters).
+    pub fn total_io(&self) -> IoSnapshot {
+        self.graph.total_io()
+    }
+
+    /// Bytes held by the stores (size reporting).
+    pub fn store_bytes(&self) -> u64 {
+        self.parts
+            .iter()
+            .map(|p| p.attr_store.size_bytes() + p.accm_store.size_bytes())
+            .sum()
+    }
+
+    /// Supersteps executed per snapshot so far.
+    pub fn superstep_counts(&self) -> &[usize] {
+        &self.superstep_counts
+    }
+
+    /// Compact the edge store's segment chains (between snapshots): the
+    /// base CSRs are rewritten from the current view and the per-snapshot
+    /// delta segments dropped. Call after `run_incremental` has consumed
+    /// the latest batch; the next batch then diffs against the compacted
+    /// base. Long-running sessions use this to bound the edge-segment
+    /// chain the same way the vertex store's merge policy bounds delta
+    /// chains.
+    pub fn compact_edges(&mut self) {
+        self.graph.compact();
+    }
+}
+
+impl Session {
+    /// Evaluate a walk query's start filter for one image.
+    fn passes_start_filter(
+        &self,
+        q: &WalkQuery,
+        start: VertexId,
+        attrs: &[ColumnData],
+        local: usize,
+        deg_view: View,
+    ) -> bool {
+        let Some(f) = &q.start_filter else {
+            return true;
+        };
+        let walk = [start];
+        let ctx = crate::walker::WalkCtx {
+            walk: &walk,
+            attrs,
+            local,
+            deg_view,
+            graph: &self.graph,
+        };
+        eval(f, &ctx)
+            .map(|v| v.as_bool().unwrap_or(false))
+            .unwrap_or(false)
+    }
+}
+
+/// Whether a walk query's *shape* is independent of the start vertex's
+/// attribute image: hop constraints and action conditions read only walk
+/// ids (no attributes, degrees, or globals). Under this condition the old
+/// and new images of a Δvs start vertex enumerate the identical walk set,
+/// enabling the dual-image value-diff path.
+fn hops_are_image_independent(q: &WalkQuery) -> bool {
+    q.hops
+        .iter()
+        .filter_map(|h| h.constraint.as_ref())
+        .chain(q.actions.iter().filter_map(|a| a.cond.as_ref()))
+        .all(itg_compiler::optimize::is_pure_order_constraint)
+}
+
+/// Extract after-image rows for `vids` (global ids) from columns.
+fn rows_of(
+    graph: &ClusterGraph,
+    types: &[itg_gsa::ValueType],
+    cols: &[ColumnData],
+    vids: &[VertexId],
+) -> (Vec<u32>, Vec<ColumnData>) {
+    let mut out_vids = Vec::with_capacity(vids.len());
+    let mut out_cols: Vec<ColumnData> = types
+        .iter()
+        .map(|&t| ColumnData::zeros(t, vids.len()))
+        .collect();
+    for (j, &v) in vids.iter().enumerate() {
+        let l = graph.local_index(v);
+        out_vids.push(l as u32);
+        for (c, col) in out_cols.iter_mut().enumerate() {
+            col.set(j, &cols[c].get(l));
+        }
+    }
+    (out_vids, out_cols)
+}
+
+fn set_all_false(col: &mut ColumnData) {
+    if let ColumnData::Bool(v) = col {
+        v.iter_mut().for_each(|b| *b = false);
+    } else {
+        panic!("active column must be bool");
+    }
+}
+
+fn row_differs(a: &[ColumnData], b: &[ColumnData], l: usize) -> bool {
+    (0..a.len()).any(|c| a[c].get(l) != b[c].get(l))
+}

@@ -1,0 +1,379 @@
+//! End-to-end equivalence: for every evaluation algorithm, the engine's
+//! one-shot results must match the independent native reference, and the
+//! engine's *incremental* results after a sequence of mutation batches
+//! must match a fresh one-shot execution on the mutated graph — bit for
+//! bit (the programs use integer arithmetic to make this exact).
+
+use itg_algorithms::native::{self, SimpleGraph};
+use itg_algorithms::programs;
+use itg_engine::{EngineConfig, GraphInput, Session};
+use itg_gsa::{Value, VertexId};
+use itg_store::{EdgeMutation, MutationBatch};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn longs(vals: Vec<Value>) -> Vec<i64> {
+    vals.into_iter().map(|v| v.as_i64().unwrap()).collect()
+}
+
+/// The paper's running example G_0 (Figure 6).
+fn paper_edges() -> Vec<(VertexId, VertexId)> {
+    vec![
+        (0, 1),
+        (0, 5),
+        (1, 5),
+        (2, 3),
+        (2, 5),
+        (3, 4),
+        (4, 5),
+        (6, 7),
+    ]
+}
+
+fn cfg(machines: usize) -> EngineConfig {
+    EngineConfig {
+        machines,
+        parallel: false,
+        ..EngineConfig::default()
+    }
+}
+
+#[test]
+fn paper_example_tc_one_shot_and_incremental() {
+    let input = GraphInput::undirected(paper_edges());
+    let mut s = Session::from_source(programs::TRIANGLE_COUNT, &input, cfg(2)).unwrap();
+    let one = s.run_oneshot();
+    assert_eq!(s.global_value("cnts", None).unwrap(), Value::Long(1));
+    assert_eq!(one.supersteps, 1);
+
+    // ΔG_1 = {insert (3,5)} — Figure 10: triangles <2,3,5> and <3,4,5>.
+    s.apply_mutations(&MutationBatch::new(vec![EdgeMutation::insert(3, 5)]));
+    let inc = s.run_incremental();
+    assert_eq!(s.global_value("cnts", None).unwrap(), Value::Long(3));
+    assert!(inc.supersteps >= 1);
+
+    // ΔG_2 = {delete (0,5), insert (6, 2)}: drops <0,1,5>.
+    s.apply_mutations(&MutationBatch::new(vec![
+        EdgeMutation::delete(0, 5),
+        EdgeMutation::insert(6, 2),
+    ]));
+    s.run_incremental();
+    assert_eq!(s.global_value("cnts", None).unwrap(), Value::Long(2));
+}
+
+#[test]
+fn wcc_incremental_merges_components() {
+    let input = GraphInput::undirected(paper_edges());
+    let mut s = Session::from_source(programs::WCC, &input, cfg(3)).unwrap();
+    s.run_oneshot();
+    let comp = longs(s.attr_column("comp").unwrap());
+    let reference = native::wcc(&SimpleGraph::undirected(8, &paper_edges()));
+    assert_eq!(comp, reference);
+
+    // Connect the {6,7} component to the rest.
+    s.apply_mutations(&MutationBatch::new(vec![EdgeMutation::insert(5, 6)]));
+    s.run_incremental();
+    let comp = longs(s.attr_column("comp").unwrap());
+    assert!(comp.iter().all(|&c| c == 0), "all merged: {comp:?}");
+}
+
+#[test]
+fn wcc_incremental_deletion_splits_component() {
+    // Chain 0-1-2-3; deleting (1,2) splits into {0,1} and {2,3}. The Min
+    // accumulator is a monoid: this exercises the recompute path.
+    let input = GraphInput::undirected(vec![(0, 1), (1, 2), (2, 3)]);
+    let mut s = Session::from_source(programs::WCC, &input, cfg(2)).unwrap();
+    s.run_oneshot();
+    assert_eq!(longs(s.attr_column("comp").unwrap()), vec![0, 0, 0, 0]);
+
+    s.apply_mutations(&MutationBatch::new(vec![EdgeMutation::delete(1, 2)]));
+    let inc = s.run_incremental();
+    let comp = longs(s.attr_column("comp").unwrap());
+    assert_eq!(comp, vec![0, 0, 2, 2], "after split: {comp:?}");
+    assert!(inc.recomputed_vertices > 0, "deletion must trigger monoid recompute");
+}
+
+/// Generate a random undirected base graph and a sequence of mutation
+/// batches following the paper's workload protocol shape.
+fn random_workload(
+    seed: u64,
+    n: u64,
+    base_edges: usize,
+    batches: usize,
+    batch_size: usize,
+) -> (Vec<(VertexId, VertexId)>, Vec<MutationBatch>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut all: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    while all.len() < base_edges + batches * batch_size {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b && seen.insert((a.min(b), a.max(b))) {
+            all.push((a.min(b), a.max(b)));
+        }
+    }
+    let base: Vec<_> = all[..base_edges].to_vec();
+    let mut pool: Vec<_> = all[base_edges..].to_vec();
+    let mut alive = base.clone();
+    let mut out = Vec::new();
+    for _ in 0..batches {
+        let mut muts = Vec::new();
+        for _ in 0..batch_size {
+            if rng.gen_bool(0.7) || alive.len() < 4 {
+                if let Some(e) = pool.pop() {
+                    muts.push(EdgeMutation::insert(e.0, e.1));
+                    alive.push(e);
+                }
+            } else {
+                let i = rng.gen_range(0..alive.len());
+                let e = alive.swap_remove(i);
+                muts.push(EdgeMutation::delete(e.0, e.1));
+            }
+        }
+        out.push(MutationBatch::new(muts));
+    }
+    (base, out)
+}
+
+/// Apply batches to a plain edge set.
+fn apply_to_edges(edges: &mut Vec<(VertexId, VertexId)>, batch: &MutationBatch) {
+    for m in &batch.edges {
+        let key = (m.src.min(m.dst), m.src.max(m.dst));
+        if m.is_insert() {
+            edges.push(key);
+        } else {
+            edges.retain(|&e| e != key);
+        }
+    }
+}
+
+/// The core property: incremental results across several batches equal a
+/// fresh one-shot on the final graph, for every algorithm.
+fn check_algorithm(name: &str, machines: usize, seed: u64) {
+    let (base, batches) = random_workload(seed, 24, 40, 3, 6);
+    let src = programs::source(name).unwrap();
+    let undirected = programs::is_undirected(name);
+    let max_ss = if matches!(name, "pr" | "lp") { 10 } else { usize::MAX };
+
+    let mk_input = |edges: &[(VertexId, VertexId)]| {
+        let mut input = if undirected {
+            GraphInput::undirected(edges.to_vec())
+        } else {
+            GraphInput::directed(edges.to_vec())
+        };
+        input.num_vertices = 24;
+        input
+    };
+
+    let mut config = cfg(machines);
+    config.max_supersteps = max_ss;
+
+    // Incremental path.
+    let mut sess = Session::from_source(&src, &mk_input(&base), config.clone()).unwrap();
+    sess.run_oneshot();
+    let mut edges = base.clone();
+    for batch in &batches {
+        sess.apply_mutations(batch);
+        sess.run_incremental();
+        apply_to_edges(&mut edges, batch);
+    }
+
+    // Fresh one-shot on the final graph.
+    let mut fresh = Session::from_source(&src, &mk_input(&edges), config).unwrap();
+    fresh.run_oneshot();
+
+    // Compare all user-visible state.
+    for attr in attr_names(name) {
+        let a = sess.attr_column(attr).unwrap();
+        let b = fresh.attr_column(attr).unwrap();
+        assert_eq!(
+            a, b,
+            "{name}: attribute `{attr}` diverged after incremental runs (seed {seed})"
+        );
+    }
+    if name == "tc" {
+        assert_eq!(
+            sess.global_value("cnts", None).unwrap(),
+            fresh.global_value("cnts", None).unwrap(),
+            "{name}: global count diverged (seed {seed})"
+        );
+        // And against the native reference.
+        let g = SimpleGraph::undirected(24, &edges);
+        assert_eq!(
+            sess.global_value("cnts", None).unwrap(),
+            Value::Long(native::triangle_count(&g))
+        );
+    }
+}
+
+fn attr_names(name: &str) -> Vec<&'static str> {
+    match name {
+        "pr" => vec!["rank"],
+        "lp" => vec!["label"],
+        "wcc" => vec!["comp"],
+        "bfs" => vec!["dist"],
+        "tc" => vec![],
+        "lcc" => vec!["lcc"],
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn pr_incremental_equals_fresh_oneshot() {
+    check_algorithm("pr", 1, 11);
+    check_algorithm("pr", 3, 12);
+}
+
+#[test]
+fn lp_incremental_equals_fresh_oneshot() {
+    check_algorithm("lp", 1, 21);
+    check_algorithm("lp", 2, 22);
+}
+
+#[test]
+fn wcc_incremental_equals_fresh_oneshot() {
+    check_algorithm("wcc", 1, 31);
+    check_algorithm("wcc", 3, 32);
+}
+
+#[test]
+fn bfs_incremental_equals_fresh_oneshot() {
+    check_algorithm("bfs", 1, 41);
+    check_algorithm("bfs", 2, 42);
+}
+
+#[test]
+fn tc_incremental_equals_fresh_oneshot() {
+    check_algorithm("tc", 1, 51);
+    check_algorithm("tc", 3, 52);
+}
+
+#[test]
+fn lcc_incremental_equals_fresh_oneshot() {
+    check_algorithm("lcc", 1, 61);
+    check_algorithm("lcc", 2, 62);
+}
+
+#[test]
+fn oneshot_matches_native_references() {
+    let (base, _) = random_workload(99, 24, 50, 0, 0);
+    let g = SimpleGraph::undirected(24, &base);
+    let mut input = GraphInput::undirected(base.clone());
+    input.num_vertices = 24;
+
+    let mut s = Session::from_source(programs::WCC, &input, cfg(2)).unwrap();
+    s.run_oneshot();
+    assert_eq!(longs(s.attr_column("comp").unwrap()), native::wcc(&g));
+
+    let mut s = Session::from_source(&programs::bfs(0), &input, cfg(2)).unwrap();
+    s.run_oneshot();
+    assert_eq!(longs(s.attr_column("dist").unwrap()), native::bfs(&g, 0));
+
+    let mut s = Session::from_source(programs::LCC, &input, cfg(2)).unwrap();
+    s.run_oneshot();
+    assert_eq!(longs(s.attr_column("lcc").unwrap()), native::lcc(&g));
+
+    let mut c = cfg(2);
+    c.max_supersteps = 10;
+    let mut s = Session::from_source(programs::LABEL_PROP, &input, c).unwrap();
+    s.run_oneshot();
+    assert_eq!(
+        longs(s.attr_column("label").unwrap()),
+        native::label_prop(&g, 10)
+    );
+
+    // Directed PR against the native reference.
+    let dir_edges: Vec<(u64, u64)> = base.iter().flat_map(|&(a, b)| [(a, b), (b, a)]).collect();
+    let gd = SimpleGraph::directed(24, &dir_edges);
+    let mut input_d = GraphInput::directed(dir_edges);
+    input_d.num_vertices = 24;
+    let mut c = cfg(2);
+    c.max_supersteps = 10;
+    let mut s = Session::from_source(programs::PAGERANK, &input_d, c).unwrap();
+    s.run_oneshot();
+    assert_eq!(
+        longs(s.attr_column("rank").unwrap()),
+        native::pagerank(&gd, 10)
+    );
+}
+
+#[test]
+fn optimizations_do_not_change_results() {
+    use itg_engine::OptFlags;
+    let (base, batches) = random_workload(77, 20, 36, 2, 6);
+    let mut results = Vec::new();
+    for opts in [
+        OptFlags::none(),
+        OptFlags {
+            traversal_reorder: true,
+            ..OptFlags::none()
+        },
+        OptFlags {
+            traversal_reorder: true,
+            neighbor_prune: true,
+            ..OptFlags::none()
+        },
+        OptFlags::default(),
+    ] {
+        let mut config = cfg(2);
+        config.opts = opts;
+        let mut input = GraphInput::undirected(base.clone());
+        input.num_vertices = 20;
+        let mut s = Session::from_source(programs::TRIANGLE_COUNT, &input, config).unwrap();
+        s.run_oneshot();
+        for b in &batches {
+            s.apply_mutations(b);
+            s.run_incremental();
+        }
+        results.push(s.global_value("cnts", None).unwrap());
+    }
+    assert!(
+        results.windows(2).all(|w| w[0] == w[1]),
+        "optimization flags changed results: {results:?}"
+    );
+}
+
+#[test]
+fn parallel_execution_matches_sequential() {
+    let (base, batches) = random_workload(88, 30, 60, 2, 8);
+    let run = |parallel: bool| {
+        let mut config = cfg(4);
+        config.parallel = parallel;
+        let mut input = GraphInput::undirected(base.clone());
+        input.num_vertices = 30;
+        let mut s = Session::from_source(programs::WCC, &input, config).unwrap();
+        s.run_oneshot();
+        for b in &batches {
+            s.apply_mutations(b);
+            s.run_incremental();
+        }
+        longs(s.attr_column("comp").unwrap())
+    };
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
+fn reach2_oneshot_and_incremental_match_reference() {
+    // The seventh program (not in the paper's evaluation set): self-
+    // targeted accumulation over a branching 2-hop walk.
+    let (base, batches) = random_workload(71, 18, 30, 3, 5);
+    let mut input = GraphInput::undirected(base.clone());
+    input.num_vertices = 18;
+    let mut s = Session::from_source(programs::REACH2, &input, cfg(2)).unwrap();
+    s.run_oneshot();
+    let g = SimpleGraph::undirected(18, &base);
+    assert_eq!(longs(s.attr_column("reach").unwrap()), native::reach2(&g));
+
+    let mut edges = base;
+    for b in &batches {
+        s.apply_mutations(b);
+        s.run_incremental();
+        apply_to_edges(&mut edges, b);
+    }
+    let g = SimpleGraph::undirected(18, &edges);
+    assert_eq!(
+        longs(s.attr_column("reach").unwrap()),
+        native::reach2(&g),
+        "incremental reach2 diverged"
+    );
+}

@@ -1,0 +1,18 @@
+//! # itg-graphgen — synthetic graphs and mutation workloads
+//!
+//! Stands in for the paper's datasets and workload protocol (§6.1):
+//! - [`rmat`]: the `RMAT_X` recursive-matrix generator.
+//! - [`upscale`](crate::upscale()): EvoGraph-style upscaling (the `TWT_X` analogues).
+//! - [`smallworld`]: Watts–Strogatz graphs for the example applications.
+//! - [`workload`]: the 90/10 split with ratio- and size-controlled
+//!   insertion/deletion batches.
+
+pub mod rmat;
+pub mod smallworld;
+pub mod upscale;
+pub mod workload;
+
+pub use rmat::{generate, generate_undirected, RmatConfig};
+pub use smallworld::watts_strogatz;
+pub use upscale::upscale;
+pub use workload::{canonical_undirected, BatchSpec, Workload};

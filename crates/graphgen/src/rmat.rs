@@ -1,0 +1,167 @@
+//! RMAT synthetic graph generation (the paper's `RMAT_X` datasets are
+//! generated with TrillionG using the recursive-matrix model; we use the
+//! classic RMAT parameters a=0.57, b=0.19, c=0.19, d=0.05).
+//!
+//! `RMAT_X` in the paper has `2^X` edges over `2^{X-4}` vertices, i.e. an
+//! average degree of 16. [`RmatConfig::paper_scale`] mirrors that ratio.
+
+use itg_gsa::VertexId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// RMAT generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatConfig {
+    /// log2 of the number of vertices.
+    pub scale: u32,
+    /// Number of edges to generate.
+    pub edges: usize,
+    /// Quadrant probabilities (a + b + c + d must be ≈ 1).
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    pub seed: u64,
+}
+
+impl RmatConfig {
+    /// The paper's `RMAT_X` shape: `2^x` edges over `2^{x-4}` vertices.
+    pub fn paper_scale(x: u32, seed: u64) -> RmatConfig {
+        assert!(x >= 5, "RMAT_X needs x >= 5");
+        RmatConfig {
+            scale: x - 4,
+            edges: 1usize << x,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            seed,
+        }
+    }
+
+    pub fn num_vertices(&self) -> usize {
+        1usize << self.scale
+    }
+}
+
+/// Generate a directed RMAT edge list. Self-loops and duplicates are
+/// dropped (the paper models graphs as simple), so the output can contain
+/// slightly fewer than `cfg.edges` edges.
+pub fn generate(cfg: &RmatConfig) -> Vec<(VertexId, VertexId)> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut seen = itg_gsa::FxHashSet::default();
+    let mut edges = Vec::with_capacity(cfg.edges);
+    let d = 1.0 - cfg.a - cfg.b - cfg.c;
+    assert!(d >= 0.0, "quadrant probabilities exceed 1");
+    // Noise keeps the degree distribution from collapsing onto a grid.
+    let mut attempts = 0usize;
+    let max_attempts = cfg.edges * 8;
+    while edges.len() < cfg.edges && attempts < max_attempts {
+        attempts += 1;
+        let (mut x0, mut x1) = (0u64, (1u64 << cfg.scale) - 1);
+        let (mut y0, mut y1) = (0u64, (1u64 << cfg.scale) - 1);
+        for _ in 0..cfg.scale {
+            let r: f64 = rng.gen();
+            let (right, down) = if r < cfg.a {
+                (false, false)
+            } else if r < cfg.a + cfg.b {
+                (true, false)
+            } else if r < cfg.a + cfg.b + cfg.c {
+                (false, true)
+            } else {
+                (true, true)
+            };
+            let xm = (x0 + x1) / 2;
+            let ym = (y0 + y1) / 2;
+            if right {
+                x0 = xm + 1;
+            } else {
+                x1 = xm;
+            }
+            if down {
+                y0 = ym + 1;
+            } else {
+                y1 = ym;
+            }
+        }
+        let (src, dst) = (y0, x0);
+        if src != dst && seen.insert((src, dst)) {
+            edges.push((src, dst));
+        }
+    }
+    edges
+}
+
+/// Generate an undirected RMAT graph: each generated pair is mirrored.
+pub fn generate_undirected(cfg: &RmatConfig) -> Vec<(VertexId, VertexId)> {
+    let base = generate(cfg);
+    let mut seen = itg_gsa::FxHashSet::default();
+    let mut out = Vec::with_capacity(base.len() * 2);
+    for (s, d) in base {
+        let key = (s.min(d), s.max(d));
+        if seen.insert(key) {
+            out.push((s, d));
+            out.push((d, s));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_ratio() {
+        let cfg = RmatConfig::paper_scale(12, 1);
+        assert_eq!(cfg.num_vertices(), 256);
+        assert_eq!(cfg.edges, 4096);
+    }
+
+    #[test]
+    fn generates_simple_directed_graph() {
+        let cfg = RmatConfig::paper_scale(12, 42);
+        let edges = generate(&cfg);
+        assert!(edges.len() > 3000, "got only {} edges", edges.len());
+        let mut set = std::collections::HashSet::new();
+        for &(s, d) in &edges {
+            assert_ne!(s, d, "self-loop");
+            assert!((s as usize) < cfg.num_vertices());
+            assert!((d as usize) < cfg.num_vertices());
+            assert!(set.insert((s, d)), "duplicate edge");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = RmatConfig::paper_scale(10, 7);
+        assert_eq!(generate(&cfg), generate(&cfg));
+        let cfg2 = RmatConfig { seed: 8, ..cfg };
+        assert_ne!(generate(&cfg), generate(&cfg2));
+    }
+
+    #[test]
+    fn skewed_degree_distribution() {
+        let cfg = RmatConfig::paper_scale(14, 3);
+        let edges = generate(&cfg);
+        let mut deg = vec![0u32; cfg.num_vertices()];
+        for &(s, _) in &edges {
+            deg[s as usize] += 1;
+        }
+        let max = *deg.iter().max().unwrap();
+        let avg = edges.len() as f64 / cfg.num_vertices() as f64;
+        assert!(
+            (max as f64) > avg * 4.0,
+            "RMAT should be skewed: max {max}, avg {avg}"
+        );
+    }
+
+    #[test]
+    fn undirected_is_mirrored() {
+        let cfg = RmatConfig::paper_scale(10, 5);
+        let edges = generate_undirected(&cfg);
+        let set: std::collections::HashSet<_> = edges.iter().copied().collect();
+        assert_eq!(set.len(), edges.len());
+        for &(s, d) in &edges {
+            assert!(set.contains(&(d, s)), "missing mirror of ({s},{d})");
+        }
+    }
+}

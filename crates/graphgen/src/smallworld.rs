@@ -1,0 +1,93 @@
+//! Watts–Strogatz small-world graphs, used by the example applications
+//! (social networks in the paper's introduction are small-world: high
+//! clustering coefficient, short paths — the structures LCC and TC probe).
+
+use itg_gsa::VertexId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate an undirected Watts–Strogatz graph: a ring lattice over `n`
+/// vertices where each vertex connects to its `k` nearest neighbors
+/// (`k` even), with each edge rewired with probability `beta`.
+/// Returns mirrored directed edges.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Vec<(VertexId, VertexId)> {
+    assert!(k % 2 == 0 && k < n, "k must be even and < n");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut seen: itg_gsa::FxHashSet<(VertexId, VertexId)> = itg_gsa::FxHashSet::default();
+    let add = |a: VertexId, b: VertexId, seen: &mut itg_gsa::FxHashSet<(VertexId, VertexId)>| {
+        if a != b {
+            seen.insert((a.min(b), a.max(b)));
+        }
+    };
+    for v in 0..n as VertexId {
+        for j in 1..=(k / 2) as VertexId {
+            let w = (v + j) % n as VertexId;
+            if rng.gen::<f64>() < beta {
+                // Rewire to a uniform random target.
+                let mut t = rng.gen_range(0..n as VertexId);
+                let mut tries = 0;
+                while (t == v || seen.contains(&(v.min(t), v.max(t)))) && tries < 16 {
+                    t = rng.gen_range(0..n as VertexId);
+                    tries += 1;
+                }
+                add(v, t, &mut seen);
+            } else {
+                add(v, w, &mut seen);
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(seen.len() * 2);
+    for (a, b) in seen {
+        out.push((a, b));
+        out.push((b, a));
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_without_rewiring() {
+        let edges = watts_strogatz(10, 4, 0.0, 1);
+        // Ring lattice: 10 * 4 / 2 undirected edges, mirrored.
+        assert_eq!(edges.len(), 40);
+        // Vertex 0 connects to 1, 2, 8, 9.
+        let n0: Vec<u64> = edges.iter().filter(|e| e.0 == 0).map(|e| e.1).collect();
+        assert_eq!(n0, vec![1, 2, 8, 9]);
+    }
+
+    #[test]
+    fn rewiring_keeps_graph_simple_and_mirrored() {
+        let edges = watts_strogatz(100, 6, 0.3, 7);
+        let set: std::collections::HashSet<_> = edges.iter().copied().collect();
+        assert_eq!(set.len(), edges.len());
+        for &(a, b) in &edges {
+            assert!(set.contains(&(b, a)));
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn high_clustering_at_low_beta() {
+        // A small-world graph at beta=0 has LCC = 0.5 for k=4 lattices.
+        let edges = watts_strogatz(50, 4, 0.0, 3);
+        let mut adj = vec![std::collections::HashSet::new(); 50];
+        for &(a, b) in &edges {
+            adj[a as usize].insert(b);
+        }
+        let mut tri = 0;
+        for v in 0..50usize {
+            for &x in &adj[v] {
+                for &y in &adj[v] {
+                    if x < y && adj[x as usize].contains(&y) {
+                        tri += 1;
+                    }
+                }
+            }
+        }
+        assert!(tri > 0, "lattice must contain triangles");
+    }
+}

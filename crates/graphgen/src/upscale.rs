@@ -1,0 +1,102 @@
+//! EvoGraph-style graph upscaling.
+//!
+//! The paper evaluates on `TWT_X`, the Twitter graph upscaled X times with
+//! EvoGraph, which grows a graph while preserving its structural properties
+//! by replaying a preferential-attachment-like edge-creation process over
+//! the original topology. We implement the same idea: each upscale round
+//! adds a copy of the vertex set and connects new vertices preferentially
+//! to high-degree vertices of the existing graph, plus "community" edges
+//! mirroring original edges between copies.
+
+use itg_gsa::VertexId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Upscale `edges` over `n` vertices to approximately `factor` times the
+/// edge count. Returns (new_n, new_edges). `factor` of 1 returns the input.
+pub fn upscale(
+    n: usize,
+    edges: &[(VertexId, VertexId)],
+    factor: usize,
+    seed: u64,
+) -> (usize, Vec<(VertexId, VertexId)>) {
+    assert!(factor >= 1);
+    if factor == 1 {
+        return (n, edges.to_vec());
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out: Vec<(VertexId, VertexId)> = edges.to_vec();
+    let mut seen: itg_gsa::FxHashSet<(VertexId, VertexId)> = edges.iter().copied().collect();
+
+    // Degree-weighted sampling table over the original vertices: an edge
+    // endpoint list is itself a degree-proportional sampler.
+    let endpoints: Vec<VertexId> = edges.iter().flat_map(|&(s, d)| [s, d]).collect();
+
+    let mut total_n = n;
+    for copy in 1..factor {
+        let offset = (copy * n) as VertexId;
+        total_n += n;
+        // Mirror the original topology within the copy.
+        for &(s, d) in edges {
+            let e = (s + offset, d + offset);
+            if seen.insert(e) {
+                out.push(e);
+            }
+        }
+        // Cross edges: each copied vertex that had edges attaches
+        // preferentially into the existing graph (degree-weighted).
+        let cross = edges.len() / 4;
+        for _ in 0..cross {
+            let u = endpoints[rng.gen_range(0..endpoints.len())] + offset;
+            let v = endpoints[rng.gen_range(0..endpoints.len())];
+            if u != v {
+                let e = (u, v);
+                if seen.insert(e) {
+                    out.push(e);
+                }
+            }
+        }
+    }
+    (total_n, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rmat::{generate, RmatConfig};
+
+    #[test]
+    fn factor_one_is_identity() {
+        let edges = vec![(0, 1), (1, 2)];
+        let (n, e) = upscale(3, &edges, 1, 9);
+        assert_eq!(n, 3);
+        assert_eq!(e, edges);
+    }
+
+    #[test]
+    fn upscale_grows_proportionally() {
+        let cfg = RmatConfig::paper_scale(10, 11);
+        let base = generate(&cfg);
+        let (n, e) = upscale(cfg.num_vertices(), &base, 4, 11);
+        assert_eq!(n, cfg.num_vertices() * 4);
+        assert!(e.len() >= base.len() * 4, "{} < {}", e.len(), base.len() * 4);
+        // Simple graph preserved.
+        let set: std::collections::HashSet<_> = e.iter().copied().collect();
+        assert_eq!(set.len(), e.len());
+        assert!(e.iter().all(|&(s, d)| (s as usize) < n && (d as usize) < n));
+    }
+
+    #[test]
+    fn skew_is_preserved() {
+        let cfg = RmatConfig::paper_scale(12, 13);
+        let base = generate(&cfg);
+        let (n, e) = upscale(cfg.num_vertices(), &base, 3, 13);
+        let mut deg = vec![0u32; n];
+        for &(s, _) in &e {
+            deg[s as usize] += 1;
+        }
+        let max = *deg.iter().max().unwrap() as f64;
+        let avg = e.len() as f64 / n as f64;
+        assert!(max > avg * 4.0, "upscaled graph lost skew");
+    }
+}

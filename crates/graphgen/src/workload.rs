@@ -1,0 +1,180 @@
+//! The paper's mutation workload protocol (§6.1).
+//!
+//! Given a full edge list, 90% of the edges are sampled uniformly at random
+//! as the initial graph G_0; insertion workloads draw from the held-out
+//! 10%; deletion workloads sample uniformly from the currently-alive edges.
+//! Batches mix insertions and deletions at a configurable ratio (default
+//! 75:25, following LinkBench) and size (default 100k at paper scale).
+
+use itg_gsa::VertexId;
+use itg_store::{EdgeMutation, MutationBatch};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Workload generator state: the initial graph plus the pools that future
+/// batches draw from.
+#[derive(Debug)]
+pub struct Workload {
+    /// The sampled initial graph G_0 (undirected edges stored once; mirror
+    /// with [`MutationBatch::mirrored`] / at load time as needed).
+    pub initial: Vec<(VertexId, VertexId)>,
+    /// Held-out edges available for insertion.
+    insert_pool: Vec<(VertexId, VertexId)>,
+    /// Currently alive edges (eligible for deletion).
+    alive: Vec<(VertexId, VertexId)>,
+    rng: SmallRng,
+}
+
+/// Configuration of one batch draw.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchSpec {
+    /// Total number of mutations in the batch.
+    pub size: usize,
+    /// Fraction of insertions, in percent (75 means 75:25).
+    pub insert_pct: u32,
+}
+
+impl Default for BatchSpec {
+    fn default() -> BatchSpec {
+        BatchSpec {
+            size: 100,
+            insert_pct: 75,
+        }
+    }
+}
+
+impl Workload {
+    /// Split `edges` into a 90% initial graph and a 10% insert pool.
+    pub fn split(edges: &[(VertexId, VertexId)], seed: u64) -> Workload {
+        Workload::split_frac(edges, 0.9, seed)
+    }
+
+    /// Split with an explicit initial fraction.
+    pub fn split_frac(edges: &[(VertexId, VertexId)], frac: f64, seed: u64) -> Workload {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut shuffled = edges.to_vec();
+        shuffled.shuffle(&mut rng);
+        let cut = ((edges.len() as f64) * frac).round() as usize;
+        let initial: Vec<_> = shuffled[..cut].to_vec();
+        let insert_pool: Vec<_> = shuffled[cut..].to_vec();
+        Workload {
+            alive: initial.clone(),
+            initial,
+            insert_pool,
+            rng,
+        }
+    }
+
+    /// Remaining insertions available.
+    pub fn insert_pool_len(&self) -> usize {
+        self.insert_pool.len()
+    }
+
+    /// Draw the next mutation batch ΔG_t. Insertions come from the held-out
+    /// pool; deletions sample the alive set uniformly. The batch shrinks if
+    /// a pool runs dry.
+    pub fn next_batch(&mut self, spec: BatchSpec) -> MutationBatch {
+        let want_ins = (spec.size as u64 * spec.insert_pct as u64 / 100) as usize;
+        let want_del = spec.size - want_ins;
+        let mut edges = Vec::with_capacity(spec.size);
+        for _ in 0..want_ins {
+            let Some(e) = self.insert_pool.pop() else { break };
+            edges.push(EdgeMutation::insert(e.0, e.1));
+            self.alive.push(e);
+        }
+        for _ in 0..want_del {
+            if self.alive.is_empty() {
+                break;
+            }
+            let i = self.rng.gen_range(0..self.alive.len());
+            let e = self.alive.swap_remove(i);
+            edges.push(EdgeMutation::delete(e.0, e.1));
+        }
+        MutationBatch::new(edges)
+    }
+
+    /// Currently alive edge count.
+    pub fn alive_len(&self) -> usize {
+        self.alive.len()
+    }
+}
+
+/// Deduplicate an undirected edge list down to one record per pair
+/// (keeping (min, max)); useful before splitting so that a mutation acts on
+/// the logical undirected edge.
+pub fn canonical_undirected(edges: &[(VertexId, VertexId)]) -> Vec<(VertexId, VertexId)> {
+    let mut seen = itg_gsa::FxHashSet::default();
+    let mut out = Vec::new();
+    for &(a, b) in edges {
+        if a == b {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        if seen.insert(key) {
+            out.push(key);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges(n: u64) -> Vec<(VertexId, VertexId)> {
+        (0..n).map(|i| (i, (i + 1) % n)).collect()
+    }
+
+    #[test]
+    fn split_is_90_10() {
+        let w = Workload::split(&edges(1000), 1);
+        assert_eq!(w.initial.len(), 900);
+        assert_eq!(w.insert_pool_len(), 100);
+    }
+
+    #[test]
+    fn batch_respects_ratio() {
+        let mut w = Workload::split(&edges(1000), 2);
+        let b = w.next_batch(BatchSpec {
+            size: 40,
+            insert_pct: 75,
+        });
+        assert_eq!(b.len(), 40);
+        assert_eq!(b.inserts().count(), 30);
+        assert_eq!(b.deletes().count(), 10);
+    }
+
+    #[test]
+    fn deletions_sample_alive_edges() {
+        let mut w = Workload::split(&edges(100), 3);
+        let before = w.alive_len();
+        let b = w.next_batch(BatchSpec {
+            size: 10,
+            insert_pct: 0,
+        });
+        assert_eq!(b.deletes().count(), 10);
+        assert_eq!(w.alive_len(), before - 10);
+        // Deleted edges were alive (members of the initial graph here).
+        for e in b.deletes() {
+            assert!(w.initial.contains(&(e.src, e.dst)));
+        }
+    }
+
+    #[test]
+    fn insert_pool_exhaustion_shrinks_batch() {
+        let mut w = Workload::split(&edges(100), 4); // pool of 10
+        let b = w.next_batch(BatchSpec {
+            size: 100,
+            insert_pct: 100,
+        });
+        assert_eq!(b.inserts().count(), 10);
+    }
+
+    #[test]
+    fn canonicalize_undirected() {
+        let e = vec![(1, 2), (2, 1), (3, 3), (2, 3)];
+        let c = canonical_undirected(&e);
+        assert_eq!(c, vec![(1, 2), (2, 3)]);
+    }
+}

@@ -1,0 +1,179 @@
+//! The scalar stream operators of Table 3: Filter (σ), Map (Π), Union (∪),
+//! Difference (⊖), Assign (←), and Accumulate (⊎).
+//!
+//! These are the *reference* implementations over materialized streams; they
+//! define the semantics the engine's specialized paths must match and are
+//! the subjects of the Table 4 property tests in `incremental.rs`.
+
+use crate::accm::AccmOp;
+use crate::expr::{eval, EvalError, Expr, IdRowContext};
+use crate::fxhash::FxHashMap;
+use crate::tuple::{Stream, Tuple};
+use crate::value::{PrimType, Value, VertexId};
+
+fn id_row(t: &Tuple) -> Vec<VertexId> {
+    t.cols
+        .iter()
+        .map(|v| v.as_vertex_id().unwrap_or(u64::MAX))
+        .collect()
+}
+
+/// σ — keep tuples whose predicate over the row evaluates to true.
+/// The predicate references row columns via `Expr::WalkVertex(i)`.
+pub fn filter(input: &Stream, pred: &Expr) -> Result<Stream, EvalError> {
+    let mut out = Vec::new();
+    for t in input {
+        let ids = id_row(t);
+        let ctx = IdRowContext { ids: &ids };
+        if eval(pred, &ctx)?.as_bool().unwrap_or(false) {
+            out.push(t.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// Π — project each tuple through the column expressions, preserving
+/// multiplicity.
+pub fn map(input: &Stream, exprs: &[Expr]) -> Result<Stream, EvalError> {
+    let mut out = Vec::with_capacity(input.len());
+    for t in input {
+        let ids = id_row(t);
+        let ctx = IdRowContext { ids: &ids };
+        let cols = exprs
+            .iter()
+            .map(|e| eval(e, &ctx))
+            .collect::<Result<Vec<Value>, _>>()?;
+        out.push(Tuple::with_mult(cols, t.mult));
+    }
+    Ok(out)
+}
+
+/// ⊎ — group by the first column (the target vertex id) and fold the second
+/// column with the accumulate function. Retractions (m = −1) of group
+/// operators are folded via the inverse; for monoids the caller must route
+/// retractions through the engine's recompute path, so this reference
+/// operator requires insert-only input for monoids.
+pub fn accumulate(
+    input: &Stream,
+    op: AccmOp,
+    ty: PrimType,
+) -> Result<Vec<(VertexId, Value)>, EvalError> {
+    let mut acc: FxHashMap<VertexId, Value> = FxHashMap::default();
+    for t in input {
+        let key = t.cols[0]
+            .as_vertex_id()
+            .ok_or(EvalError::TypeMismatch("accumulate key must be a vertex id"))?;
+        let mut val = t.cols[1].clone();
+        if t.mult < 0 {
+            val = op
+                .inverse(&val, ty)
+                .ok_or(EvalError::TypeMismatch("retraction of a monoid accumulator"))?;
+        }
+        let entry = acc.entry(key).or_insert_with(|| op.identity(ty));
+        *entry = op.combine(entry, &val, ty);
+    }
+    let mut out: Vec<(VertexId, Value)> = acc.into_iter().collect();
+    out.sort_by_key(|(k, _)| *k);
+    Ok(out)
+}
+
+/// Global-variable variant of ⊎: fold the first column of every tuple into a
+/// single value.
+pub fn accumulate_global(input: &Stream, op: AccmOp, ty: PrimType) -> Result<Value, EvalError> {
+    let mut acc = op.identity(ty);
+    for t in input {
+        let mut val = t.cols[0].clone();
+        if t.mult < 0 {
+            val = op
+                .inverse(&val, ty)
+                .ok_or(EvalError::TypeMismatch("retraction of a monoid accumulator"))?;
+        }
+        acc = op.combine(&acc, &val, ty);
+    }
+    Ok(acc)
+}
+
+/// ← — the Assign operator's output: for each input tuple carrying
+/// (id, old, new), emit a deletion of the old image and an insertion of the
+/// new image (paper §4.3).
+pub fn assign(input: &Stream) -> Stream {
+    let mut out = Vec::with_capacity(input.len() * 2);
+    for t in input {
+        let id = t.cols[0].clone();
+        let old = t.cols[1].clone();
+        let new = t.cols[2].clone();
+        out.push(Tuple::with_mult(vec![id.clone(), old], -t.mult));
+        out.push(Tuple::with_mult(vec![id, new], t.mult));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+    use crate::tuple::{consolidate, edge_tuple};
+
+    #[test]
+    fn filter_order_constraint() {
+        let s = vec![edge_tuple(1, 2, 1), edge_tuple(3, 2, 1), edge_tuple(2, 2, -1)];
+        let pred = Expr::bin(BinOp::Lt, Expr::WalkVertex(0), Expr::WalkVertex(1));
+        let out = filter(&s, &pred).unwrap();
+        assert_eq!(out, vec![edge_tuple(1, 2, 1)]);
+    }
+
+    #[test]
+    fn map_projects_and_keeps_multiplicity() {
+        let s = vec![edge_tuple(4, 9, -1)];
+        let out = map(&s, &[Expr::WalkVertex(1)]).unwrap();
+        assert_eq!(out[0].cols, vec![Value::Long(9)]);
+        assert_eq!(out[0].mult, -1);
+    }
+
+    #[test]
+    fn accumulate_sum_with_retractions() {
+        let s = vec![
+            Tuple::new(vec![Value::Long(1), Value::Double(2.0)]),
+            Tuple::new(vec![Value::Long(1), Value::Double(3.0)]),
+            Tuple::with_mult(vec![Value::Long(1), Value::Double(2.0)], -1),
+            Tuple::new(vec![Value::Long(2), Value::Double(7.0)]),
+        ];
+        let out = accumulate(&s, AccmOp::Sum, PrimType::Double).unwrap();
+        assert_eq!(out, vec![(1, Value::Double(3.0)), (2, Value::Double(7.0))]);
+    }
+
+    #[test]
+    fn accumulate_monoid_rejects_retraction() {
+        let s = vec![Tuple::with_mult(vec![Value::Long(1), Value::Long(5)], -1)];
+        assert!(accumulate(&s, AccmOp::Min, PrimType::Long).is_err());
+    }
+
+    #[test]
+    fn global_accumulate() {
+        let s = vec![
+            Tuple::new(vec![Value::Long(1)]),
+            Tuple::new(vec![Value::Long(1)]),
+            Tuple::with_mult(vec![Value::Long(1)], -1),
+        ];
+        let out = accumulate_global(&s, AccmOp::Sum, PrimType::Long).unwrap();
+        assert_eq!(out, Value::Long(1));
+    }
+
+    #[test]
+    fn assign_emits_delete_insert_pairs() {
+        let s = vec![Tuple::new(vec![
+            Value::Long(3),
+            Value::Double(1.0),
+            Value::Double(2.0),
+        ])];
+        let out = assign(&s);
+        let c = consolidate(&out);
+        assert_eq!(
+            c,
+            vec![
+                (vec![Value::Long(3), Value::Double(1.0)], -1),
+                (vec![Value::Long(3), Value::Double(2.0)], 1),
+            ]
+        );
+    }
+}

@@ -1,0 +1,262 @@
+//! The GSA algebra plan IR.
+//!
+//! A compiled `L_NGA` UDF is a tree of algebra nodes over *stream
+//! references*. Stream references name the logical inputs of the plan —
+//! the vertex stream `vs` (always stream index 0) and the per-hop edge
+//! streams `es_1..es_k` — each of which can later be bound to the base
+//! stream, the delta stream, or the primed (base ∪ delta) stream by the
+//! incrementalizer (paper §5.1).
+
+use crate::accm::AccmOp;
+use crate::expr::Expr;
+use crate::value::PrimType;
+use std::fmt;
+
+/// Which version of a logical stream a plan node consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamVersion {
+    /// The stream as of the previous snapshot, `s`.
+    Base,
+    /// The delta stream, `Δs`.
+    Delta,
+    /// The updated stream, `s' = s ∪ Δs`.
+    Primed,
+}
+
+impl fmt::Display for StreamVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamVersion::Base => write!(f, "s"),
+            StreamVersion::Delta => write!(f, "Δs"),
+            StreamVersion::Primed => write!(f, "s'"),
+        }
+    }
+}
+
+/// A reference to one logical input stream of a Walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamRef {
+    /// 0 is the vertex stream; i ≥ 1 is the edge stream of hop i.
+    pub index: usize,
+    pub version: StreamVersion,
+}
+
+impl StreamRef {
+    pub fn base(index: usize) -> StreamRef {
+        StreamRef {
+            index,
+            version: StreamVersion::Base,
+        }
+    }
+
+    pub fn delta(index: usize) -> StreamRef {
+        StreamRef {
+            index,
+            version: StreamVersion::Delta,
+        }
+    }
+
+    pub fn primed(index: usize) -> StreamRef {
+        StreamRef {
+            index,
+            version: StreamVersion::Primed,
+        }
+    }
+}
+
+impl fmt::Display for StreamRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = if self.index == 0 {
+            "vs".to_string()
+        } else {
+            format!("es{}", self.index)
+        };
+        match self.version {
+            StreamVersion::Base => write!(f, "{name}"),
+            StreamVersion::Delta => write!(f, "Δ{name}"),
+            StreamVersion::Primed => write!(f, "{name}'"),
+        }
+    }
+}
+
+/// Where an Accumulate/Assign writes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WriteTarget {
+    /// A vertex attribute; the target vertex id is the value of `key`
+    /// (an expression over the walk, e.g. `u2`).
+    VertexAttr { key: Expr, attr: usize },
+    /// A global variable.
+    Global(usize),
+}
+
+/// A node of the algebra plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgebraNode {
+    /// ω — the n-ary walk generator (paper §4.3). `start_filter` selects the
+    /// starting vertices from the vertex stream (stream 0); hop i draws from
+    /// stream i (an edge stream).
+    Walk {
+        streams: Vec<StreamRef>,
+        start_filter: Option<Expr>,
+        hop_constraints: Vec<Option<Expr>>,
+        final_constraint: Option<Expr>,
+        /// For Δvs sub-queries: enumerate changed start vertices with both
+        /// images (old with m=−1, new with m=+1).
+        delta_start_images: bool,
+    },
+    /// σ
+    Filter { pred: Expr, input: Box<AlgebraNode> },
+    /// Π
+    Map {
+        exprs: Vec<Expr>,
+        input: Box<AlgebraNode>,
+    },
+    /// ∪
+    Union(Vec<AlgebraNode>),
+    /// ⊖
+    Difference(Box<AlgebraNode>, Box<AlgebraNode>),
+    /// ⊎
+    Accumulate {
+        target: WriteTarget,
+        op: AccmOp,
+        ty: PrimType,
+        value: Expr,
+        input: Box<AlgebraNode>,
+    },
+    /// ←
+    Assign {
+        target: WriteTarget,
+        value: Expr,
+        input: Box<AlgebraNode>,
+    },
+}
+
+impl AlgebraNode {
+    /// Collect all Walk nodes in the plan (post-order).
+    pub fn walks(&self) -> Vec<&AlgebraNode> {
+        let mut out = Vec::new();
+        self.visit(&mut |n| {
+            if matches!(n, AlgebraNode::Walk { .. }) {
+                out.push(n);
+            }
+        });
+        out
+    }
+
+    /// Post-order visit. The borrow is immutable; transforms rebuild.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a AlgebraNode)) {
+        match self {
+            AlgebraNode::Filter { input, .. }
+            | AlgebraNode::Map { input, .. }
+            | AlgebraNode::Accumulate { input, .. }
+            | AlgebraNode::Assign { input, .. } => input.visit(f),
+            AlgebraNode::Union(inputs) => {
+                for i in inputs {
+                    i.visit(f);
+                }
+            }
+            AlgebraNode::Difference(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            AlgebraNode::Walk { .. } => {}
+        }
+        f(self);
+    }
+
+    /// Pretty-print the plan as an indented operator tree.
+    pub fn explain(&self) -> String {
+        let mut s = String::new();
+        self.explain_into(&mut s, 0);
+        s
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            AlgebraNode::Walk { streams, .. } => {
+                let names: Vec<String> = streams.iter().map(|r| r.to_string()).collect();
+                out.push_str(&format!("{pad}ω({})\n", names.join(", ")));
+            }
+            AlgebraNode::Filter { pred, input } => {
+                out.push_str(&format!("{pad}σ[{pred:?}]\n"));
+                input.explain_into(out, depth + 1);
+            }
+            AlgebraNode::Map { exprs, input } => {
+                out.push_str(&format!("{pad}Π[{} cols]\n", exprs.len()));
+                input.explain_into(out, depth + 1);
+            }
+            AlgebraNode::Union(inputs) => {
+                out.push_str(&format!("{pad}∪\n"));
+                for i in inputs {
+                    i.explain_into(out, depth + 1);
+                }
+            }
+            AlgebraNode::Difference(a, b) => {
+                out.push_str(&format!("{pad}⊖\n"));
+                a.explain_into(out, depth + 1);
+                b.explain_into(out, depth + 1);
+            }
+            AlgebraNode::Accumulate { op, target, .. } => {
+                out.push_str(&format!("{pad}⊎[{op} -> {target:?}]\n"));
+                if let AlgebraNode::Accumulate { input, .. } = self {
+                    input.explain_into(out, depth + 1);
+                }
+            }
+            AlgebraNode::Assign { target, input, .. } => {
+                out.push_str(&format!("{pad}←[{target:?}]\n"));
+                input.explain_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tc_walk() -> AlgebraNode {
+        AlgebraNode::Walk {
+            streams: vec![
+                StreamRef::base(0),
+                StreamRef::base(1),
+                StreamRef::base(2),
+                StreamRef::base(3),
+            ],
+            start_filter: None,
+            hop_constraints: vec![None, None, None],
+            final_constraint: None,
+            delta_start_images: false,
+        }
+    }
+
+    #[test]
+    fn stream_ref_display() {
+        assert_eq!(StreamRef::base(0).to_string(), "vs");
+        assert_eq!(StreamRef::delta(2).to_string(), "Δes2");
+        assert_eq!(StreamRef::primed(1).to_string(), "es1'");
+    }
+
+    #[test]
+    fn walks_collects_nested() {
+        let plan = AlgebraNode::Union(vec![
+            tc_walk(),
+            AlgebraNode::Map {
+                exprs: vec![],
+                input: Box::new(tc_walk()),
+            },
+        ]);
+        assert_eq!(plan.walks().len(), 2);
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let plan = AlgebraNode::Map {
+            exprs: vec![Expr::WalkVertex(1)],
+            input: Box::new(tc_walk()),
+        };
+        let text = plan.explain();
+        assert!(text.contains("Π"));
+        assert!(text.contains("ω(vs, es1, es2, es3)"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Tuples with signed multiplicity and materialized streams.
+//!
+//! A GSA stream is a sequence of tuples, each carrying a multiplicity
+//! m ∈ {−1, +1} (paper §4.1): insertions and deletions — of edges, of
+//! attribute values, of walks — share one data model. A Δ-walk produced by
+//! joining several tuples carries the *product* of their multiplicities
+//! (paper §5.3), so multiplicities are kept as `i64` internally even though
+//! source tuples are always ±1.
+
+use crate::fxhash::FxHashMap;
+use crate::value::Value;
+
+/// A stream tuple: a row of column values plus a signed multiplicity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tuple {
+    pub cols: Vec<Value>,
+    pub mult: i64,
+}
+
+impl Tuple {
+    /// A tuple with multiplicity +1.
+    pub fn new(cols: Vec<Value>) -> Tuple {
+        Tuple { cols, mult: 1 }
+    }
+
+    /// A tuple with explicit multiplicity.
+    pub fn with_mult(cols: Vec<Value>, mult: i64) -> Tuple {
+        Tuple { cols, mult }
+    }
+
+    /// The same row with negated multiplicity (a retraction).
+    pub fn negated(&self) -> Tuple {
+        Tuple {
+            cols: self.cols.clone(),
+            mult: -self.mult,
+        }
+    }
+}
+
+/// A materialized stream. The formal algebra layer (used by the reference
+/// implementations and property tests) operates on materialized streams;
+/// the engine streams tuples through specialized operators instead.
+pub type Stream = Vec<Tuple>;
+
+/// Build a stream of +1 tuples from rows.
+pub fn stream_of(rows: Vec<Vec<Value>>) -> Stream {
+    rows.into_iter().map(Tuple::new).collect()
+}
+
+/// An edge tuple `(src, dst)` with multiplicity `mult`.
+pub fn edge_tuple(src: u64, dst: u64, mult: i64) -> Tuple {
+    Tuple::with_mult(vec![Value::Long(src as i64), Value::Long(dst as i64)], mult)
+}
+
+/// Consolidate a stream into canonical multiset form: sum multiplicities of
+/// identical rows and drop rows whose net multiplicity is zero. Two streams
+/// are semantically equal iff their consolidations are equal as sets.
+pub fn consolidate(stream: &Stream) -> Vec<(Vec<Value>, i64)> {
+    let mut acc: FxHashMap<Vec<Value>, i64> = FxHashMap::default();
+    for t in stream {
+        *acc.entry(t.cols.clone()).or_insert(0) += t.mult;
+    }
+    let mut out: Vec<(Vec<Value>, i64)> = acc.into_iter().filter(|(_, m)| *m != 0).collect();
+    out.sort_by(|a, b| cmp_rows(&a.0, &b.0).then(a.1.cmp(&b.1)));
+    out
+}
+
+fn cmp_rows(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        let c = x.total_cmp(y);
+        if c != std::cmp::Ordering::Equal {
+            return c;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+/// Multiset equality of two streams (equality after consolidation).
+pub fn streams_equal(a: &Stream, b: &Stream) -> bool {
+    consolidate(a) == consolidate(b)
+}
+
+/// Multiset union `a ∪ b`: concatenation under the ±multiplicity model.
+pub fn union(a: &Stream, b: &Stream) -> Stream {
+    let mut out = a.clone();
+    out.extend(b.iter().cloned());
+    out
+}
+
+/// Multiset difference `a ⊖ b`: `b`'s tuples contribute with negated
+/// multiplicity.
+pub fn difference(a: &Stream, b: &Stream) -> Stream {
+    let mut out = a.clone();
+    out.extend(b.iter().map(Tuple::negated));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(v: i64) -> Vec<Value> {
+        vec![Value::Long(v)]
+    }
+
+    #[test]
+    fn consolidate_cancels() {
+        let s = vec![
+            Tuple::new(row(1)),
+            Tuple::with_mult(row(1), -1),
+            Tuple::new(row(2)),
+            Tuple::new(row(2)),
+        ];
+        let c = consolidate(&s);
+        assert_eq!(c, vec![(row(2), 2)]);
+    }
+
+    #[test]
+    fn union_then_difference_is_identity() {
+        let a = stream_of(vec![row(1), row(2)]);
+        let b = stream_of(vec![row(2), row(3)]);
+        let round = difference(&union(&a, &b), &b);
+        assert!(streams_equal(&round, &a));
+    }
+
+    #[test]
+    fn streams_equal_ignores_order_and_representation() {
+        let a = vec![Tuple::new(row(5)), Tuple::new(row(7))];
+        let b = vec![
+            Tuple::new(row(7)),
+            Tuple::new(row(5)),
+            Tuple::new(row(9)),
+            Tuple::with_mult(row(9), -1),
+        ];
+        assert!(streams_equal(&a, &b));
+        assert!(!streams_equal(&a, &[Tuple::new(row(5))].to_vec()));
+    }
+
+    #[test]
+    fn edge_tuple_columns() {
+        let e = edge_tuple(3, 5, -1);
+        assert_eq!(e.cols, vec![Value::Long(3), Value::Long(5)]);
+        assert_eq!(e.mult, -1);
+        assert_eq!(e.negated().mult, 1);
+    }
+}

@@ -1,0 +1,290 @@
+//! Property tests machine-checking Table 4: for random graphs, random
+//! deltas, and each GSA operator `op`, the incremental decomposition
+//! reproduces `op(s ∪ Δs) ⊖ op(s)` under multiset semantics.
+
+use itg_gsa::expr::{BinOp, Expr};
+use itg_gsa::tuple::{
+    consolidate, difference, edge_tuple, streams_equal, union, Stream, Tuple,
+};
+use itg_gsa::value::{Value, VertexId};
+use itg_gsa::window::{enumerate_walks, GraphStream, WalkSpec};
+use itg_gsa::{ops, AccmOp, PrimType};
+use proptest::prelude::*;
+
+const N: u64 = 8;
+
+/// A random simple edge set over N vertices.
+fn arb_edges(max: usize) -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::btree_set((0..N, 0..N), 0..max)
+        .prop_map(|s| s.into_iter().filter(|(a, b)| a != b).collect())
+}
+
+fn edges_to_stream(edges: &[(u64, u64)], mult: i64) -> Stream {
+    edges.iter().map(|&(a, b)| edge_tuple(a, b, mult)).collect()
+}
+
+/// Split a base edge set into (kept, deleted) and generate inserts disjoint
+/// from the kept set — a valid delta for a simple graph.
+fn arb_graph_and_delta() -> impl Strategy<Value = (Vec<(u64, u64)>, Stream)> {
+    (arb_edges(24), arb_edges(8), any::<u64>()).prop_map(|(base, extra, seed)| {
+        let mut delta = Vec::new();
+        let mut kept = Vec::new();
+        for (i, e) in base.iter().enumerate() {
+            // Pseudo-randomly delete ~1/4 of base edges.
+            if (seed >> (i % 60)) & 3 == 0 {
+                delta.push(edge_tuple(e.0, e.1, -1));
+            } else {
+                kept.push(*e);
+            }
+        }
+        let mut final_edges = kept.clone();
+        for e in &extra {
+            if !base.contains(e) {
+                delta.push(edge_tuple(e.0, e.1, 1));
+                final_edges.push(*e);
+            }
+        }
+        (base, delta)
+    })
+}
+
+fn all_starts() -> Vec<(VertexId, i64)> {
+    (0..N).map(|v| (v, 1)).collect()
+}
+
+fn walk_stream(walks: Vec<itg_gsa::Walk>) -> Stream {
+    walks
+        .into_iter()
+        .map(|w| {
+            Tuple::with_mult(
+                w.vertices.iter().map(|&v| Value::Long(v as i64)).collect(),
+                w.mult,
+            )
+        })
+        .collect()
+}
+
+/// Evaluate ω over explicit per-hop streams.
+fn run_walk(hop_streams: &[Stream], spec: &WalkSpec) -> Stream {
+    let gss: Vec<GraphStream> = hop_streams
+        .iter()
+        .map(|es| GraphStream::edges_only(es.clone()))
+        .collect();
+    walk_stream(enumerate_walks(&all_starts(), &gss, spec, 3))
+}
+
+fn two_hop_spec() -> WalkSpec {
+    WalkSpec::chain(vec![
+            Some(Expr::bin(BinOp::Lt, Expr::WalkVertex(0), Expr::WalkVertex(1))),
+            None,
+        ], None)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rule ⑦ for a 2-hop walk with both hops over the same mutating edge
+    /// stream: ω(es', es') ⊖ ω(es, es) ≡ ω(Δes, es) ∪ ω(es', Δes).
+    #[test]
+    fn rule7_two_hop((base, delta) in arb_graph_and_delta()) {
+        let es = edges_to_stream(&base, 1);
+        let primed = union(&es, &delta);
+        let spec = two_hop_spec();
+
+        let q_new = run_walk(&[primed.clone(), primed.clone()], &spec);
+        let q_old = run_walk(&[es.clone(), es.clone()], &spec);
+        let expected = difference(&q_new, &q_old);
+
+        let d1 = run_walk(&[delta.clone(), es.clone()], &spec);
+        let d2 = run_walk(&[primed.clone(), delta.clone()], &spec);
+        let got = union(&d1, &d2);
+
+        prop_assert!(
+            streams_equal(&expected, &got),
+            "expected {:?}, got {:?}",
+            consolidate(&expected),
+            consolidate(&got)
+        );
+    }
+
+    /// Rule ⑦ for the 3-hop Triangle Counting walk (with its ordering
+    /// constraints): the 3-term decomposition matches re-execution.
+    #[test]
+    fn rule7_triangle_counting((base, delta) in arb_graph_and_delta()) {
+        let es = edges_to_stream(&base, 1);
+        let primed = union(&es, &delta);
+        let spec = WalkSpec::chain(vec![
+                Some(Expr::bin(BinOp::Lt, Expr::WalkVertex(0), Expr::WalkVertex(1))),
+                Some(Expr::bin(BinOp::Lt, Expr::WalkVertex(1), Expr::WalkVertex(2))),
+                Some(Expr::bin(BinOp::Eq, Expr::WalkVertex(3), Expr::WalkVertex(0))),
+            ], None);
+
+        let q_new = run_walk(&[primed.clone(), primed.clone(), primed.clone()], &spec);
+        let q_old = run_walk(&[es.clone(), es.clone(), es.clone()], &spec);
+        let expected = difference(&q_new, &q_old);
+
+        let d1 = run_walk(&[delta.clone(), es.clone(), es.clone()], &spec);
+        let d2 = run_walk(&[primed.clone(), delta.clone(), es.clone()], &spec);
+        let d3 = run_walk(&[primed.clone(), primed.clone(), delta.clone()], &spec);
+        let got = union(&union(&d1, &d2), &d3);
+
+        prop_assert!(streams_equal(&expected, &got));
+    }
+
+    /// Rule ①: σ(s ∪ Δs) ⊖ σ(s) ≡ σ(Δs).
+    #[test]
+    fn rule1_filter((base, delta) in arb_graph_and_delta()) {
+        let es = edges_to_stream(&base, 1);
+        let pred = Expr::bin(BinOp::Lt, Expr::WalkVertex(0), Expr::WalkVertex(1));
+        let lhs = difference(
+            &ops::filter(&union(&es, &delta), &pred).unwrap(),
+            &ops::filter(&es, &pred).unwrap(),
+        );
+        let rhs = ops::filter(&delta, &pred).unwrap();
+        prop_assert!(streams_equal(&lhs, &rhs));
+    }
+
+    /// Rule ②: Π(s ∪ Δs) ⊖ Π(s) ≡ Π(Δs).
+    #[test]
+    fn rule2_map((base, delta) in arb_graph_and_delta()) {
+        let es = edges_to_stream(&base, 1);
+        let exprs = [Expr::WalkVertex(1)];
+        let lhs = difference(
+            &ops::map(&union(&es, &delta), &exprs).unwrap(),
+            &ops::map(&es, &exprs).unwrap(),
+        );
+        let rhs = ops::map(&delta, &exprs).unwrap();
+        prop_assert!(streams_equal(&lhs, &rhs));
+    }
+
+    /// Rule ⑥ for a group accumulator: folding the delta into the previous
+    /// Sum aggregation equals re-aggregating from scratch.
+    #[test]
+    fn rule6_accumulate_sum((base, delta) in arb_graph_and_delta()) {
+        // Aggregate out-degree contribution 1 per edge keyed by src.
+        let weight = |s: &Stream| -> Stream {
+            s.iter()
+                .map(|t| Tuple::with_mult(vec![t.cols[0].clone(), Value::Long(1)], t.mult))
+                .collect()
+        };
+        let es = edges_to_stream(&base, 1);
+        let from_scratch =
+            ops::accumulate(&weight(&union(&es, &delta)), AccmOp::Sum, PrimType::Long).unwrap();
+
+        let prev = ops::accumulate(&weight(&es), AccmOp::Sum, PrimType::Long).unwrap();
+        let delta_agg = ops::accumulate(&weight(&delta), AccmOp::Sum, PrimType::Long).unwrap();
+        let mut merged: std::collections::BTreeMap<VertexId, i64> = prev
+            .into_iter()
+            .map(|(k, v)| (k, v.as_i64().unwrap()))
+            .collect();
+        for (k, v) in delta_agg {
+            *merged.entry(k).or_insert(0) += v.as_i64().unwrap();
+        }
+        let merged: Vec<(VertexId, Value)> = merged
+            .into_iter()
+            .filter(|(_, v)| *v != 0)
+            .map(|(k, v)| (k, Value::Long(v)))
+            .collect();
+        let from_scratch: Vec<(VertexId, Value)> = from_scratch
+            .into_iter()
+            .filter(|(_, v)| v.as_i64() != Some(0))
+            .collect();
+        prop_assert_eq!(merged, from_scratch);
+    }
+
+    /// Rules ③/④: union and difference distribute over deltas.
+    #[test]
+    fn rules34_union_difference(
+        (b1, d1) in arb_graph_and_delta(),
+        (b2, d2) in arb_graph_and_delta(),
+    ) {
+        let s1 = edges_to_stream(&b1, 1);
+        let s2 = edges_to_stream(&b2, 1);
+        // Union.
+        let lhs = difference(
+            &union(&union(&s1, &d1), &union(&s2, &d2)),
+            &union(&s1, &s2),
+        );
+        let rhs = union(&d1, &d2);
+        prop_assert!(streams_equal(&lhs, &rhs));
+        // Difference.
+        let lhs = difference(
+            &difference(&union(&s1, &d1), &union(&s2, &d2)),
+            &difference(&s1, &s2),
+        );
+        let rhs = difference(&d1, &d2);
+        prop_assert!(streams_equal(&lhs, &rhs));
+    }
+}
+
+/// Rule ⑦ for a *branching* walk (the LCC shape): hops 0 and 1 both source
+/// from position 0, hop 2 sources from position 1. The 3-term decomposition
+/// must match re-execution just as for chains.
+fn branching_spec() -> WalkSpec {
+    WalkSpec {
+        hop_constraints: vec![
+            None,
+            Some(Expr::bin(BinOp::Lt, Expr::WalkVertex(1), Expr::WalkVertex(2))),
+            Some(Expr::bin(BinOp::Eq, Expr::WalkVertex(3), Expr::WalkVertex(2))),
+        ],
+        hop_sources: vec![0, 0, 1],
+        final_constraint: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rule7_branching_walk((base, delta) in arb_graph_and_delta()) {
+        let es = edges_to_stream(&base, 1);
+        let primed = union(&es, &delta);
+        let spec = branching_spec();
+
+        let q_new = run_walk(&[primed.clone(), primed.clone(), primed.clone()], &spec);
+        let q_old = run_walk(&[es.clone(), es.clone(), es.clone()], &spec);
+        let expected = difference(&q_new, &q_old);
+
+        let d1 = run_walk(&[delta.clone(), es.clone(), es.clone()], &spec);
+        let d2 = run_walk(&[primed.clone(), delta.clone(), es.clone()], &spec);
+        let d3 = run_walk(&[primed.clone(), primed.clone(), delta.clone()], &spec);
+        let got = union(&union(&d1, &d2), &d3);
+
+        prop_assert!(
+            streams_equal(&expected, &got),
+            "branching decomposition diverged: expected {:?}, got {:?}",
+            consolidate(&expected),
+            consolidate(&got)
+        );
+    }
+
+    /// Rule ⑤ (Assign): the delta of an assignment stream is the assignment
+    /// of the delta stream — delete-old/insert-new pairs distribute.
+    #[test]
+    fn rule5_assign((base, delta) in arb_graph_and_delta()) {
+        // Model attribute updates as (id, old, new) triples derived from
+        // edges: id = src, old = dst, new = dst + 1.
+        let triple = |s: &Stream| -> Stream {
+            s.iter()
+                .map(|t| {
+                    Tuple::with_mult(
+                        vec![
+                            t.cols[0].clone(),
+                            t.cols[1].clone(),
+                            Value::Long(t.cols[1].as_i64().unwrap() + 1),
+                        ],
+                        t.mult,
+                    )
+                })
+                .collect()
+        };
+        let s = triple(&edges_to_stream(&base, 1));
+        let d = triple(&delta);
+        let lhs = difference(
+            &ops::assign(&union(&s, &d)),
+            &ops::assign(&s),
+        );
+        let rhs = ops::assign(&d);
+        prop_assert!(streams_equal(&lhs, &rhs));
+    }
+}

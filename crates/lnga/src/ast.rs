@@ -1,0 +1,184 @@
+//! The `L_NGA` abstract syntax tree (paper §3, Figures 4–5).
+
+use crate::token::Span;
+use itg_gsa::accm::AccmOp;
+use itg_gsa::expr::EdgeDir;
+use itg_gsa::value::PrimType;
+
+/// Pre-defined vertex data a program can opt into by name (paper §3):
+/// `id`, `active`, degrees, and adjacency lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Predefined {
+    Id,
+    Active,
+    Nbrs,
+    OutNbrs,
+    InNbrs,
+    Degree,
+    OutDegree,
+    InDegree,
+}
+
+impl Predefined {
+    pub fn parse(name: &str) -> Option<Predefined> {
+        Some(match name {
+            "id" => Predefined::Id,
+            "active" => Predefined::Active,
+            "nbrs" => Predefined::Nbrs,
+            "out_nbrs" => Predefined::OutNbrs,
+            "in_nbrs" => Predefined::InNbrs,
+            "degree" => Predefined::Degree,
+            "out_degree" => Predefined::OutDegree,
+            "in_degree" => Predefined::InDegree,
+        _ => return None,
+        })
+    }
+
+    /// Direction of an adjacency/degree predefined.
+    pub fn dir(self) -> Option<EdgeDir> {
+        match self {
+            Predefined::Nbrs | Predefined::Degree => Some(EdgeDir::Both),
+            Predefined::OutNbrs | Predefined::OutDegree => Some(EdgeDir::Out),
+            Predefined::InNbrs | Predefined::InDegree => Some(EdgeDir::In),
+            _ => None,
+        }
+    }
+
+    pub fn is_nbrs(self) -> bool {
+        matches!(
+            self,
+            Predefined::Nbrs | Predefined::OutNbrs | Predefined::InNbrs
+        )
+    }
+
+    pub fn is_degree(self) -> bool {
+        matches!(
+            self,
+            Predefined::Degree | Predefined::OutDegree | Predefined::InDegree
+        )
+    }
+}
+
+/// A declared type in `Vertex (...)` / `GlobalVariable (...)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeclType {
+    /// One of the pre-defined vertex data items (name only, no type).
+    Predefined(Predefined),
+    Prim(PrimType),
+    Accm(PrimType, AccmOp),
+    Array(PrimType, usize),
+}
+
+/// One declaration item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrDecl {
+    pub name: String,
+    pub ty: DeclType,
+    pub span: Span,
+}
+
+/// Expressions as written (names unresolved).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    IntLit(i64),
+    FloatLit(f64),
+    BoolLit(bool),
+    /// A bare identifier: a Let-bound variable, a vertex variable (in id
+    /// comparisons like `u1 < u2`), a global, or `V`.
+    Ident(String, Span),
+    /// `var.attr`
+    Attr {
+        var: String,
+        attr: String,
+        span: Span,
+    },
+    /// `var.attr[idx]`
+    Index {
+        var: String,
+        attr: String,
+        idx: Box<AstExpr>,
+        span: Span,
+    },
+    Unary(itg_gsa::expr::UnOp, Box<AstExpr>),
+    Binary(itg_gsa::expr::BinOp, Box<AstExpr>, Box<AstExpr>),
+    /// `Abs(x)`, `Min(x, y)`, `Max(x, y)`
+    Call {
+        func: String,
+        args: Vec<AstExpr>,
+        span: Span,
+    },
+}
+
+impl AstExpr {
+    pub fn span(&self) -> Span {
+        match self {
+            AstExpr::Ident(_, s)
+            | AstExpr::Attr { span: s, .. }
+            | AstExpr::Index { span: s, .. }
+            | AstExpr::Call { span: s, .. } => *s,
+            AstExpr::Unary(_, e) => e.span(),
+            AstExpr::Binary(_, l, r) => l.span().merge(r.span()),
+            _ => Span::default(),
+        }
+    }
+}
+
+/// Assignment / accumulate target as written.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Place {
+    /// `var.attr`
+    VertexAttr {
+        var: String,
+        attr: String,
+        span: Span,
+    },
+    /// A bare global name.
+    Global { name: String, span: Span },
+}
+
+/// Statements (Table 2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `Let var = expr;`
+    Let {
+        name: String,
+        expr: AstExpr,
+        span: Span,
+    },
+    /// `place = expr;`
+    Assign { target: Place, expr: AstExpr },
+    /// `place.Accumulate(expr);`
+    Accumulate { target: Place, expr: AstExpr },
+    /// `For var in src.nbrs Where (cond) { body }`
+    For {
+        var: String,
+        source_var: String,
+        source_attr: String,
+        where_clause: Option<AstExpr>,
+        body: Vec<Stmt>,
+        span: Span,
+    },
+    /// `If (cond) { then } Else { els }`
+    If {
+        cond: AstExpr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
+}
+
+/// A user-defined function: `Initialize`, `Traverse`, or `Update`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Udf {
+    pub param: String,
+    pub body: Vec<Stmt>,
+}
+
+/// A complete `L_NGA` program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    pub vertex_decls: Vec<AttrDecl>,
+    pub global_decls: Vec<AttrDecl>,
+    pub initialize: Udf,
+    pub traverse: Udf,
+    pub update: Udf,
+}

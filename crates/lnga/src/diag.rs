@@ -1,0 +1,58 @@
+//! Diagnostics for the `L_NGA` front end.
+
+use crate::token::Span;
+use std::fmt;
+
+/// The error type shared by the lexer, parser, and type checker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LngaError {
+    pub phase: Phase,
+    pub line: u32,
+    pub message: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    Lex,
+    Parse,
+    Check,
+}
+
+impl LngaError {
+    pub fn lex(line: u32, message: impl Into<String>) -> LngaError {
+        LngaError {
+            phase: Phase::Lex,
+            line,
+            message: message.into(),
+        }
+    }
+
+    pub fn parse(span: Span, message: impl Into<String>) -> LngaError {
+        LngaError {
+            phase: Phase::Parse,
+            line: span.line,
+            message: message.into(),
+        }
+    }
+
+    pub fn check(span: Span, message: impl Into<String>) -> LngaError {
+        LngaError {
+            phase: Phase::Check,
+            line: span.line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LngaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Check => "type",
+        };
+        write!(f, "{phase} error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LngaError {}

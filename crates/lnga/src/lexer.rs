@@ -1,0 +1,248 @@
+//! The `L_NGA` lexer.
+//!
+//! Whitespace-insensitive; `//` line comments and `/* */` block comments
+//! are skipped. Numeric literals: integers (`i64`) and floats (presence of
+//! a decimal point or exponent).
+
+use crate::diag::LngaError;
+use crate::token::{Span, Tok, Token};
+
+/// Tokenize `src`, returning the token list terminated by `Eof`.
+pub fn lex(src: &str) -> Result<Vec<Token>, LngaError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LngaError::lex(line, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = Tok::keyword(word).unwrap_or_else(|| Tok::Ident(word.to_string()));
+                toks.push(Token {
+                    tok,
+                    span: Span::new(start, i, line),
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut is_float = false;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes
+                        .get(i + 1)
+                        .is_some_and(|b| (*b as char).is_ascii_digit())
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &src[start..i];
+                let tok = if is_float {
+                    Tok::FloatLit(text.parse().map_err(|_| {
+                        LngaError::lex(line, format!("invalid float literal `{text}`"))
+                    })?)
+                } else {
+                    Tok::IntLit(text.parse().map_err(|_| {
+                        LngaError::lex(line, format!("invalid integer literal `{text}`"))
+                    })?)
+                };
+                toks.push(Token {
+                    tok,
+                    span: Span::new(start, i, line),
+                });
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() {
+                    &src[i..i + 2]
+                } else {
+                    ""
+                };
+                let (tok, len) = match two {
+                    "==" => (Tok::EqEq, 2),
+                    "!=" => (Tok::Ne, 2),
+                    "<=" => (Tok::Le, 2),
+                    ">=" => (Tok::Ge, 2),
+                    "&&" => (Tok::AndAnd, 2),
+                    "||" => (Tok::OrOr, 2),
+                    _ => {
+                        let t = match c {
+                            '(' => Tok::LParen,
+                            ')' => Tok::RParen,
+                            '{' => Tok::LBrace,
+                            '}' => Tok::RBrace,
+                            '[' => Tok::LBracket,
+                            ']' => Tok::RBracket,
+                            ',' => Tok::Comma,
+                            ':' => Tok::Colon,
+                            ';' => Tok::Semi,
+                            '.' => Tok::Dot,
+                            '=' => Tok::Assign,
+                            '+' => Tok::Plus,
+                            '-' => Tok::Minus,
+                            '*' => Tok::Star,
+                            '/' => Tok::Slash,
+                            '%' => Tok::Percent,
+                            '<' => Tok::Lt,
+                            '>' => Tok::Gt,
+                            '!' => Tok::Not,
+                            other => {
+                                return Err(LngaError::lex(
+                                    line,
+                                    format!("unexpected character `{other}`"),
+                                ))
+                            }
+                        };
+                        (t, 1)
+                    }
+                };
+                i += len;
+                toks.push(Token {
+                    tok,
+                    span: Span::new(start, i, line),
+                });
+            }
+        }
+    }
+    toks.push(Token {
+        tok: Tok::Eof,
+        span: Span::new(i, i, line),
+    });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("For u2 in u1"),
+            vec![
+                Tok::For,
+                Tok::Ident("u2".into()),
+                Tok::In,
+                Tok::Ident("u1".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 0.15 1e3 7.5e-2"),
+            vec![
+                Tok::IntLit(42),
+                Tok::FloatLit(0.15),
+                Tok::FloatLit(1e3),
+                Tok::FloatLit(7.5e-2),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("a <= b == c && d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Le,
+                Tok::Ident("b".into()),
+                Tok::EqEq,
+                Tok::Ident("c".into()),
+                Tok::AndAnd,
+                Tok::Ident("d".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped_and_lines_counted() {
+        let toks = lex("a // comment\n/* multi\nline */ b").unwrap();
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[1].span.line, 3);
+    }
+
+    #[test]
+    fn accm_type_tokens() {
+        assert_eq!(
+            kinds("sum: Accm<float, SUM>"),
+            vec![
+                Tok::Ident("sum".into()),
+                Tok::Colon,
+                Tok::Accm,
+                Tok::Lt,
+                Tok::Ident("float".into()),
+                Tok::Comma,
+                Tok::Ident("SUM".into()),
+                Tok::Gt,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_line() {
+        let err = lex("a\nb\n@").unwrap_err();
+        assert!(err.to_string().contains("line 3"));
+        assert!(lex("/* never closed").is_err());
+    }
+}

@@ -1,0 +1,685 @@
+//! Recursive-descent parser for `L_NGA`.
+//!
+//! Grammar sketch (Figure 4/5 of the paper, with braces delimiting blocks):
+//!
+//! ```text
+//! program     := vertex_decl global_decl? udf*            (Initialize/Traverse/Update)
+//! vertex_decl := "Vertex" "(" decl_item ("," decl_item)* ")"
+//! global_decl := "GlobalVariable" "(" decl_item ("," decl_item)* ")"
+//! decl_item   := IDENT (":" type)?
+//! type        := prim | "Accm" "<" prim "," IDENT ">" | "Array" "<" prim "," INT ">"
+//! udf         := ("Initialize"|"Traverse"|"Update") "(" IDENT ")" ":" block
+//! block       := "{" stmt* "}" | stmt
+//! stmt        := "Let" IDENT "=" expr ";"
+//!              | place "=" expr ";"
+//!              | place "." "Accumulate" "(" expr ")" ";"
+//!              | "For" IDENT "in" IDENT "." IDENT ("Where" "(" expr ")")? block
+//!              | "If" "(" expr ")" block ("Else" block)?
+//! ```
+//!
+//! Expression precedence, loosest to tightest: `||`, `&&`, comparisons,
+//! additive, multiplicative, unary, postfix (`.attr`, `[idx]`, calls).
+
+use crate::ast::*;
+use crate::diag::LngaError;
+use crate::lexer::lex;
+use crate::token::{Span, Tok, Token};
+use itg_gsa::accm::AccmOp;
+use itg_gsa::expr::{BinOp, UnOp};
+use itg_gsa::value::PrimType;
+
+/// Parse a complete `L_NGA` program.
+pub fn parse(src: &str) -> Result<Program, LngaError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, want: &Tok) -> Result<Span, LngaError> {
+        if self.peek() == want {
+            Ok(self.bump().span)
+        } else {
+            Err(LngaError::parse(
+                self.span(),
+                format!("expected {want}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn eat_ident(&mut self) -> Result<(String, Span), LngaError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                let span = self.bump().span;
+                Ok((s, span))
+            }
+            other => Err(LngaError::parse(
+                self.span(),
+                format!("expected identifier, found {other}"),
+            )),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, LngaError> {
+        let mut prog = Program::default();
+        let mut saw_vertex = false;
+        let (mut saw_init, mut saw_trav, mut saw_upd) = (false, false, false);
+        loop {
+            match self.peek().clone() {
+                Tok::Vertex => {
+                    self.bump();
+                    prog.vertex_decls = self.decl_list()?;
+                    saw_vertex = true;
+                }
+                Tok::GlobalVariable => {
+                    self.bump();
+                    prog.global_decls = self.decl_list()?;
+                }
+                Tok::Initialize => {
+                    prog.initialize = self.udf(Tok::Initialize)?;
+                    saw_init = true;
+                }
+                Tok::Traverse => {
+                    prog.traverse = self.udf(Tok::Traverse)?;
+                    saw_trav = true;
+                }
+                Tok::Update => {
+                    prog.update = self.udf(Tok::Update)?;
+                    saw_upd = true;
+                }
+                Tok::Eof => break,
+                other => {
+                    return Err(LngaError::parse(
+                        self.span(),
+                        format!("expected a declaration or UDF, found {other}"),
+                    ))
+                }
+            }
+        }
+        if !saw_vertex {
+            return Err(LngaError::parse(Span::default(), "missing Vertex declaration"));
+        }
+        if !(saw_init && saw_trav && saw_upd) {
+            return Err(LngaError::parse(
+                Span::default(),
+                "a program must define Initialize, Traverse, and Update",
+            ));
+        }
+        Ok(prog)
+    }
+
+    fn decl_list(&mut self) -> Result<Vec<AttrDecl>, LngaError> {
+        self.eat(&Tok::LParen)?;
+        let mut out = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                out.push(self.decl_item()?);
+                if self.peek() == &Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat(&Tok::RParen)?;
+        Ok(out)
+    }
+
+    fn decl_item(&mut self) -> Result<AttrDecl, LngaError> {
+        let (name, span) = self.eat_ident()?;
+        if self.peek() == &Tok::Colon {
+            self.bump();
+            let ty = self.decl_type()?;
+            Ok(AttrDecl { name, ty, span })
+        } else {
+            let pre = Predefined::parse(&name).ok_or_else(|| {
+                LngaError::parse(
+                    span,
+                    format!("`{name}` is not a pre-defined vertex datum and has no type"),
+                )
+            })?;
+            Ok(AttrDecl {
+                name,
+                ty: DeclType::Predefined(pre),
+                span,
+            })
+        }
+    }
+
+    fn prim_type(&mut self) -> Result<PrimType, LngaError> {
+        let (name, span) = self.eat_ident()?;
+        match name.as_str() {
+            "bool" => Ok(PrimType::Bool),
+            "int" => Ok(PrimType::Int),
+            "long" => Ok(PrimType::Long),
+            "float" => Ok(PrimType::Float),
+            "double" => Ok(PrimType::Double),
+            other => Err(LngaError::parse(
+                span,
+                format!("unknown primitive type `{other}`"),
+            )),
+        }
+    }
+
+    fn decl_type(&mut self) -> Result<DeclType, LngaError> {
+        match self.peek().clone() {
+            Tok::Accm => {
+                self.bump();
+                self.eat(&Tok::Lt)?;
+                let prim = self.prim_type()?;
+                self.eat(&Tok::Comma)?;
+                let (op_name, op_span) = self.eat_ident()?;
+                let op = AccmOp::parse(&op_name).ok_or_else(|| {
+                    LngaError::parse(
+                        op_span,
+                        format!("`{op_name}` is not an Abelian monoid operator"),
+                    )
+                })?;
+                self.eat(&Tok::Gt)?;
+                Ok(DeclType::Accm(prim, op))
+            }
+            Tok::Array => {
+                self.bump();
+                self.eat(&Tok::Lt)?;
+                let prim = self.prim_type()?;
+                self.eat(&Tok::Comma)?;
+                let size = match self.bump() {
+                    Token {
+                        tok: Tok::IntLit(n),
+                        ..
+                    } if n > 0 => n as usize,
+                    t => {
+                        return Err(LngaError::parse(
+                            t.span,
+                            "Array size must be a positive integer literal",
+                        ))
+                    }
+                };
+                self.eat(&Tok::Gt)?;
+                Ok(DeclType::Array(prim, size))
+            }
+            _ => Ok(DeclType::Prim(self.prim_type()?)),
+        }
+    }
+
+    fn udf(&mut self, kind: Tok) -> Result<Udf, LngaError> {
+        self.eat(&kind)?;
+        self.eat(&Tok::LParen)?;
+        let (param, _) = self.eat_ident()?;
+        self.eat(&Tok::RParen)?;
+        self.eat(&Tok::Colon)?;
+        let body = self.block()?;
+        Ok(Udf { param, body })
+    }
+
+    /// A `{ ... }` block, or a single statement.
+    fn block(&mut self) -> Result<Vec<Stmt>, LngaError> {
+        if self.peek() == &Tok::LBrace {
+            self.bump();
+            let mut out = Vec::new();
+            while self.peek() != &Tok::RBrace {
+                if self.peek() == &Tok::Eof {
+                    return Err(LngaError::parse(self.span(), "unterminated block"));
+                }
+                out.push(self.stmt()?);
+            }
+            self.bump();
+            Ok(out)
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LngaError> {
+        match self.peek().clone() {
+            Tok::Let => {
+                let span = self.bump().span;
+                let (name, _) = self.eat_ident()?;
+                self.eat(&Tok::Assign)?;
+                let expr = self.expr()?;
+                self.eat(&Tok::Semi)?;
+                Ok(Stmt::Let { name, expr, span })
+            }
+            Tok::For => {
+                let span = self.bump().span;
+                let (var, _) = self.eat_ident()?;
+                self.eat(&Tok::In)?;
+                let (source_var, _) = self.eat_ident()?;
+                self.eat(&Tok::Dot)?;
+                let (source_attr, _) = self.eat_ident()?;
+                let where_clause = if self.peek() == &Tok::Where {
+                    self.bump();
+                    self.eat(&Tok::LParen)?;
+                    let e = self.expr()?;
+                    self.eat(&Tok::RParen)?;
+                    Some(e)
+                } else {
+                    None
+                };
+                let body = self.block()?;
+                Ok(Stmt::For {
+                    var,
+                    source_var,
+                    source_attr,
+                    where_clause,
+                    body,
+                    span,
+                })
+            }
+            Tok::If => {
+                self.bump();
+                self.eat(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.eat(&Tok::RParen)?;
+                let then_body = self.block()?;
+                let else_body = if self.peek() == &Tok::Else {
+                    self.bump();
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                })
+            }
+            Tok::Ident(_) => self.assign_or_accumulate(),
+            other => Err(LngaError::parse(
+                self.span(),
+                format!("expected a statement, found {other}"),
+            )),
+        }
+    }
+
+    /// `x = e;` | `x.attr = e;` | `x.Accumulate(e);` | `x.attr.Accumulate(e);`
+    fn assign_or_accumulate(&mut self) -> Result<Stmt, LngaError> {
+        let (first, first_span) = self.eat_ident()?;
+        if self.peek() == &Tok::Assign {
+            // Bare global assignment.
+            self.bump();
+            let expr = self.expr()?;
+            self.eat(&Tok::Semi)?;
+            return Ok(Stmt::Assign {
+                target: Place::Global {
+                    name: first,
+                    span: first_span,
+                },
+                expr,
+            });
+        }
+        self.eat(&Tok::Dot)?;
+        let (second, second_span) = self.eat_ident()?;
+        if second == "Accumulate" {
+            // global.Accumulate(e);
+            self.eat(&Tok::LParen)?;
+            let expr = self.expr()?;
+            self.eat(&Tok::RParen)?;
+            self.eat(&Tok::Semi)?;
+            return Ok(Stmt::Accumulate {
+                target: Place::Global {
+                    name: first,
+                    span: first_span,
+                },
+                expr,
+            });
+        }
+        let place = Place::VertexAttr {
+            var: first,
+            attr: second,
+            span: first_span.merge(second_span),
+        };
+        match self.peek().clone() {
+            Tok::Assign => {
+                self.bump();
+                let expr = self.expr()?;
+                self.eat(&Tok::Semi)?;
+                Ok(Stmt::Assign {
+                    target: place,
+                    expr,
+                })
+            }
+            Tok::Dot => {
+                self.bump();
+                let (m, mspan) = self.eat_ident()?;
+                if m != "Accumulate" {
+                    return Err(LngaError::parse(
+                        mspan,
+                        format!("expected `Accumulate`, found `{m}`"),
+                    ));
+                }
+                self.eat(&Tok::LParen)?;
+                let expr = self.expr()?;
+                self.eat(&Tok::RParen)?;
+                self.eat(&Tok::Semi)?;
+                Ok(Stmt::Accumulate {
+                    target: place,
+                    expr,
+                })
+            }
+            other => Err(LngaError::parse(
+                self.span(),
+                format!("expected `=` or `.Accumulate`, found {other}"),
+            )),
+        }
+    }
+
+    // ---- expressions ----
+
+    fn expr(&mut self) -> Result<AstExpr, LngaError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<AstExpr, LngaError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == &Tok::OrOr {
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = AstExpr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<AstExpr, LngaError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.peek() == &Tok::AndAnd {
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = AstExpr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<AstExpr, LngaError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::Lt => BinOp::Lt,
+            Tok::Le => BinOp::Le,
+            Tok::Gt => BinOp::Gt,
+            Tok::Ge => BinOp::Ge,
+            Tok::EqEq => BinOp::Eq,
+            Tok::Ne => BinOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(AstExpr::Binary(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn add_expr(&mut self) -> Result<AstExpr, LngaError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = AstExpr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<AstExpr, LngaError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = AstExpr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<AstExpr, LngaError> {
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                Ok(AstExpr::Unary(UnOp::Neg, Box::new(self.unary_expr()?)))
+            }
+            Tok::Not => {
+                self.bump();
+                Ok(AstExpr::Unary(UnOp::Not, Box::new(self.unary_expr()?)))
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<AstExpr, LngaError> {
+        match self.peek().clone() {
+            Tok::IntLit(v) => {
+                self.bump();
+                Ok(AstExpr::IntLit(v))
+            }
+            Tok::FloatLit(v) => {
+                self.bump();
+                Ok(AstExpr::FloatLit(v))
+            }
+            Tok::BoolLit(v) => {
+                self.bump();
+                Ok(AstExpr::BoolLit(v))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.eat(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                let span = self.bump().span;
+                // Call?
+                if self.peek() == &Tok::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.peek() != &Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.peek() == &Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.eat(&Tok::RParen)?;
+                    return Ok(AstExpr::Call {
+                        func: name,
+                        args,
+                        span,
+                    });
+                }
+                // Attribute access / index?
+                if self.peek() == &Tok::Dot {
+                    self.bump();
+                    let (attr, aspan) = self.eat_ident()?;
+                    if self.peek() == &Tok::LBracket {
+                        self.bump();
+                        let idx = self.expr()?;
+                        self.eat(&Tok::RBracket)?;
+                        return Ok(AstExpr::Index {
+                            var: name,
+                            attr,
+                            idx: Box::new(idx),
+                            span: span.merge(aspan),
+                        });
+                    }
+                    return Ok(AstExpr::Attr {
+                        var: name,
+                        attr,
+                        span: span.merge(aspan),
+                    });
+                }
+                Ok(AstExpr::Ident(name, span))
+            }
+            other => Err(LngaError::parse(
+                self.span(),
+                format!("expected an expression, found {other}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PR_SRC: &str = r#"
+        Vertex (id, active, out_nbrs, out_degree,
+                rank: float, sum: Accm<float, SUM>)
+        Initialize (u): {
+            u.rank = 1;
+            u.active = true;
+        }
+        Traverse (u): {
+            Let val = u.rank / u.out_degree;
+            For v in u.out_nbrs {
+                v.sum.Accumulate(val);
+            }
+        }
+        Update (u): {
+            Let val = 0.15 / V + 0.85 * u.sum;
+            If (Abs(val - u.rank) > 0.001) {
+                u.rank = val;
+                u.active = true;
+            }
+        }
+    "#;
+
+    #[test]
+    fn parses_pagerank() {
+        let p = parse(PR_SRC).unwrap();
+        assert_eq!(p.vertex_decls.len(), 6);
+        assert_eq!(p.vertex_decls[4].name, "rank");
+        assert!(matches!(
+            p.vertex_decls[5].ty,
+            DeclType::Accm(PrimType::Float, AccmOp::Sum)
+        ));
+        assert_eq!(p.traverse.param, "u");
+        assert_eq!(p.traverse.body.len(), 2);
+        match &p.traverse.body[1] {
+            Stmt::For { var, source_attr, body, .. } => {
+                assert_eq!(var, "v");
+                assert_eq!(source_attr, "out_nbrs");
+                assert!(matches!(body[0], Stmt::Accumulate { .. }));
+            }
+            other => panic!("expected For, got {other:?}"),
+        }
+    }
+
+    const TC_SRC: &str = r#"
+        Vertex (id, active, nbrs)
+        GlobalVariable (cnts: Accm<long, SUM>)
+        Initialize (u1): { u1.active = true; }
+        Traverse (u1): {
+            For u2 in u1.nbrs Where (u1 < u2) {
+                For u3 in u2.nbrs Where (u2 < u3) {
+                    For u4 in u3.nbrs Where (u4 == u1) {
+                        cnts.Accumulate(1);
+                    }
+                }
+            }
+        }
+        Update (u1): { }
+    "#;
+
+    #[test]
+    fn parses_triangle_counting() {
+        let p = parse(TC_SRC).unwrap();
+        assert_eq!(p.global_decls.len(), 1);
+        // Three nested For loops.
+        let Stmt::For { body, where_clause, .. } = &p.traverse.body[0] else {
+            panic!()
+        };
+        assert!(where_clause.is_some());
+        let Stmt::For { body, .. } = &body[0] else { panic!() };
+        let Stmt::For { body, .. } = &body[0] else { panic!() };
+        assert!(matches!(
+            body[0],
+            Stmt::Accumulate {
+                target: Place::Global { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn precedence_binds_correctly() {
+        let p = parse(
+            "Vertex (id, active, x: double)
+             Initialize (u): { u.x = 1 + 2 * 3; }
+             Traverse (u): { }
+             Update (u): { }",
+        )
+        .unwrap();
+        let Stmt::Assign { expr, .. } = &p.initialize.body[0] else {
+            panic!()
+        };
+        // 1 + (2 * 3)
+        let AstExpr::Binary(BinOp::Add, _, rhs) = expr else {
+            panic!("expected Add at top, got {expr:?}")
+        };
+        assert!(matches!(**rhs, AstExpr::Binary(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn single_statement_blocks() {
+        let p = parse(
+            "Vertex (id, active, x: long)
+             Initialize (u): u.x = 3;
+             Traverse (u): { }
+             Update (u): If (u.x > 2) u.active = true; Else u.active = false;",
+        )
+        .unwrap();
+        let Stmt::If { then_body, else_body, .. } = &p.update.body[0] else {
+            panic!()
+        };
+        assert_eq!(then_body.len(), 1);
+        assert_eq!(else_body.len(), 1);
+    }
+
+    #[test]
+    fn missing_udf_is_an_error() {
+        let err = parse("Vertex (id) Initialize (u): { } Traverse (u): { }").unwrap_err();
+        assert!(err.to_string().contains("Update"));
+    }
+
+    #[test]
+    fn unknown_predefined_is_an_error() {
+        let err = parse("Vertex (id, wat) Initialize(u): {} Traverse(u): {} Update(u): {}")
+            .unwrap_err();
+        assert!(err.to_string().contains("wat"));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("Vertex (id)\nInitialize (u): {\n  Let = 3;\n}").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+}

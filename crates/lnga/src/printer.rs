@@ -1,0 +1,332 @@
+//! Pretty-printer: render an `L_NGA` AST back to canonical source text.
+//!
+//! The printer and parser form a round trip — `parse(print(ast)) == ast`
+//! modulo spans — which the test suite checks over the algorithm corpus.
+//! Tooling uses this for normalized program display (e.g. the `itg` CLI
+//! and error reporting), and it doubles as the canonical formatting of
+//! `L_NGA` source.
+
+use crate::ast::*;
+use itg_gsa::expr::{BinOp, UnOp};
+use std::fmt::Write;
+
+/// Render a program as canonical source text.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    print_decls(&mut out, "Vertex", &p.vertex_decls);
+    if !p.global_decls.is_empty() {
+        print_decls(&mut out, "GlobalVariable", &p.global_decls);
+    }
+    print_udf(&mut out, "Initialize", &p.initialize);
+    print_udf(&mut out, "Traverse", &p.traverse);
+    print_udf(&mut out, "Update", &p.update);
+    out
+}
+
+fn print_decls(out: &mut String, kw: &str, decls: &[AttrDecl]) {
+    let items: Vec<String> = decls
+        .iter()
+        .map(|d| match &d.ty {
+            DeclType::Predefined(_) => d.name.clone(),
+            DeclType::Prim(p) => format!("{}: {p}", d.name),
+            DeclType::Accm(p, op) => format!("{}: Accm<{p}, {op}>", d.name),
+            DeclType::Array(p, n) => format!("{}: Array<{p}, {n}>", d.name),
+        })
+        .collect();
+    let _ = writeln!(out, "{kw} ({})", items.join(", "));
+}
+
+fn print_udf(out: &mut String, kw: &str, udf: &Udf) {
+    let _ = writeln!(out, "{kw} ({}): {{", udf.param);
+    print_block(out, &udf.body, 1);
+    let _ = writeln!(out, "}}");
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn print_block(out: &mut String, body: &[Stmt], depth: usize) {
+    for stmt in body {
+        print_stmt(out, stmt, depth);
+    }
+}
+
+fn print_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
+    indent(out, depth);
+    match stmt {
+        Stmt::Let { name, expr, .. } => {
+            let _ = writeln!(out, "Let {name} = {};", print_expr(expr));
+        }
+        Stmt::Assign { target, expr } => {
+            let _ = writeln!(out, "{} = {};", print_place(target), print_expr(expr));
+        }
+        Stmt::Accumulate { target, expr } => {
+            let _ = writeln!(
+                out,
+                "{}.Accumulate({});",
+                print_place(target),
+                print_expr(expr)
+            );
+        }
+        Stmt::For {
+            var,
+            source_var,
+            source_attr,
+            where_clause,
+            body,
+            ..
+        } => {
+            let mut head = format!("For {var} in {source_var}.{source_attr}");
+            if let Some(w) = where_clause {
+                let _ = write!(head, " Where ({})", print_expr(w));
+            }
+            let _ = writeln!(out, "{head} {{");
+            print_block(out, body, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            let _ = writeln!(out, "If ({}) {{", print_expr(cond));
+            print_block(out, then_body, depth + 1);
+            indent(out, depth);
+            if else_body.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} Else {\n");
+                print_block(out, else_body, depth + 1);
+                indent(out, depth);
+                out.push_str("}\n");
+            }
+        }
+    }
+}
+
+fn print_place(p: &Place) -> String {
+    match p {
+        Place::VertexAttr { var, attr, .. } => format!("{var}.{attr}"),
+        Place::Global { name, .. } => name.clone(),
+    }
+}
+
+fn bin_op_text(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Mod => "%",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+    }
+}
+
+/// Operator precedence for minimal parenthesization (higher binds tighter).
+fn precedence(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => 3,
+        BinOp::Add | BinOp::Sub => 4,
+        BinOp::Mul | BinOp::Div | BinOp::Mod => 5,
+    }
+}
+
+/// Render an expression with minimal parentheses.
+pub fn print_expr(e: &AstExpr) -> String {
+    print_prec(e, 0)
+}
+
+fn print_prec(e: &AstExpr, parent: u8) -> String {
+    match e {
+        AstExpr::IntLit(v) => v.to_string(),
+        AstExpr::FloatLit(v) => {
+            // Keep a decimal point so the literal re-lexes as a float.
+            let s = v.to_string();
+            if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        AstExpr::BoolLit(v) => v.to_string(),
+        AstExpr::Ident(name, _) => name.clone(),
+        AstExpr::Attr { var, attr, .. } => format!("{var}.{attr}"),
+        AstExpr::Index { var, attr, idx, .. } => {
+            format!("{var}.{attr}[{}]", print_expr(idx))
+        }
+        AstExpr::Unary(op, inner) => {
+            let sym = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            };
+            format!("{sym}{}", print_prec(inner, 6))
+        }
+        AstExpr::Binary(op, l, r) => {
+            let p = precedence(*op);
+            // Left-associative grammar: the right child needs parens at
+            // equal precedence.
+            let text = format!(
+                "{} {} {}",
+                print_prec(l, p),
+                bin_op_text(*op),
+                print_prec(r, p + 1)
+            );
+            if p < parent {
+                format!("({text})")
+            } else {
+                text
+            }
+        }
+        AstExpr::Call { func, args, .. } => {
+            let args: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{func}({})", args.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Strip spans so ASTs compare structurally.
+    fn normalize(p: &Program) -> String {
+        // Printing is itself the span-free normal form: two ASTs are
+        // structurally equal iff they print identically.
+        print_program(p)
+    }
+
+    fn roundtrip(src: &str) {
+        let ast1 = parse(src).unwrap();
+        let printed = print_program(&ast1);
+        let ast2 = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed source failed to re-parse: {e}\n{printed}"));
+        assert_eq!(
+            normalize(&ast1),
+            normalize(&ast2),
+            "round trip changed the program:\n{printed}"
+        );
+    }
+
+    #[test]
+    fn roundtrips_pagerank_shape() {
+        roundtrip(
+            "Vertex (id, active, out_nbrs, out_degree,
+                     rank: long, sum: Accm<long, SUM>)
+             Initialize (u): { u.rank = 1000; u.active = true; }
+             Traverse (u): {
+                 Let val = u.rank / u.out_degree;
+                 For v in u.out_nbrs { v.sum.Accumulate(val); }
+             }
+             Update (u): {
+                 Let val = 150 + 850 * u.sum / 1000;
+                 If (Abs(val - u.rank) > 0) { u.rank = val; u.active = true; }
+             }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_nested_loops_and_wheres() {
+        roundtrip(
+            "Vertex (id, active, nbrs)
+             GlobalVariable (cnts: Accm<long, SUM>)
+             Initialize (u1): { u1.active = true; }
+             Traverse (u1): {
+                 For u2 in u1.nbrs Where (u1 < u2) {
+                     For u3 in u2.nbrs Where (u2 < u3) {
+                         For u4 in u3.nbrs Where (u4 == u1) { cnts.Accumulate(1); }
+                     }
+                 }
+             }
+             Update (u1): { }",
+        );
+    }
+
+    #[test]
+    fn parenthesization_preserves_meaning() {
+        // (1 + 2) * 3 must keep its parens; 1 + 2 * 3 must not gain any.
+        roundtrip(
+            "Vertex (id, active, nbrs, x: long)
+             Initialize (u): {
+                 u.x = (1 + 2) * 3;
+                 u.x = 1 + 2 * 3;
+                 u.x = 1 - (2 - 3);
+                 u.x = -(u.id + 1) % 7;
+             }
+             Traverse (u): { }
+             Update (u): { }",
+        );
+        // And the values are actually different shapes:
+        let p = parse(
+            "Vertex (id, active, nbrs, x: long)
+             Initialize (u): { u.x = (1 + 2) * 3; u.x = 1 + 2 * 3; }
+             Traverse (u): { }
+             Update (u): { }",
+        )
+        .unwrap();
+        let Stmt::Assign { expr: e1, .. } = &p.initialize.body[0] else {
+            panic!()
+        };
+        let Stmt::Assign { expr: e2, .. } = &p.initialize.body[1] else {
+            panic!()
+        };
+        assert!(print_expr(e1).starts_with('('));
+        assert_eq!(print_expr(e2), "1 + 2 * 3");
+    }
+
+    #[test]
+    fn float_literals_stay_floats() {
+        roundtrip(
+            "Vertex (id, active, nbrs, x: double)
+             Initialize (u): { u.x = 1.0; u.x = 0.15; u.x = 2.0 * u.x; }
+             Traverse (u): { }
+             Update (u): { }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_every_shipped_algorithm_shape() {
+        // The printer must handle everything the parser accepts across the
+        // constructs used by the six evaluation algorithms.
+        for src in [
+            "Vertex (id, active, nbrs, comp: long, m: Accm<long, MIN>)
+             Initialize (u): { u.comp = u.id; u.active = true; }
+             Traverse (u): { For v in u.nbrs { v.m.Accumulate(u.comp); } }
+             Update (u): { If (u.m < u.comp) { u.comp = u.m; u.active = true; } }",
+            "Vertex (id, active, nbrs, dist: long, m: Accm<long, MIN>)
+             Initialize (u): {
+                 If (u.id == 0) { u.dist = 0; u.active = true; }
+                 Else { u.dist = 1000000000; }
+             }
+             Traverse (u): { For v in u.nbrs { v.m.Accumulate(u.dist + 1); } }
+             Update (u): { If (u.m < u.dist) { u.dist = u.m; u.active = true; } }",
+            "Vertex (id, active, nbrs, degree, tri: Accm<long, SUM>, lcc: long)
+             Initialize (u1): { u1.active = true; }
+             Traverse (u1): {
+                 For u2 in u1.nbrs {
+                     For u3 in u1.nbrs Where (u2 < u3) {
+                         For u4 in u2.nbrs Where (u4 == u3) { u1.tri.Accumulate(1); }
+                     }
+                 }
+             }
+             Update (u1): {
+                 If (u1.degree > 1) { u1.lcc = 2000 * u1.tri / (u1.degree * (u1.degree - 1)); }
+             }",
+        ] {
+            roundtrip(src);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Tokens and source spans for `L_NGA`.
+
+use std::fmt;
+
+/// A half-open byte span into the source text, for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+}
+
+impl Span {
+    pub fn new(start: usize, end: usize, line: u32) -> Span {
+        Span { start, end, line }
+    }
+
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line.min(other.line),
+        }
+    }
+}
+
+/// Token kinds of the `L_NGA` grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // Literals and names.
+    Ident(String),
+    IntLit(i64),
+    FloatLit(f64),
+    BoolLit(bool),
+    // Keywords.
+    Vertex,
+    GlobalVariable,
+    Initialize,
+    Traverse,
+    Update,
+    Let,
+    For,
+    In,
+    Where,
+    If,
+    Else,
+    Accm,
+    Array,
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Colon,
+    Semi,
+    Dot,
+    Assign,  // =
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    Not,
+    Eof,
+}
+
+impl Tok {
+    /// Keyword lookup; identifiers that are not keywords stay identifiers.
+    pub fn keyword(word: &str) -> Option<Tok> {
+        Some(match word {
+            "Vertex" => Tok::Vertex,
+            "GlobalVariable" => Tok::GlobalVariable,
+            "Initialize" => Tok::Initialize,
+            "Traverse" => Tok::Traverse,
+            "Update" => Tok::Update,
+            "Let" => Tok::Let,
+            "For" => Tok::For,
+            "in" | "In" => Tok::In,
+            "Where" => Tok::Where,
+            "If" => Tok::If,
+            "Else" => Tok::Else,
+            "Accm" => Tok::Accm,
+            "Array" => Tok::Array,
+            "true" => Tok::BoolLit(true),
+            "false" => Tok::BoolLit(false),
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::IntLit(v) => write!(f, "integer `{v}`"),
+            Tok::FloatLit(v) => write!(f, "float `{v}`"),
+            Tok::BoolLit(v) => write!(f, "`{v}`"),
+            Tok::Eof => write!(f, "end of input"),
+            other => write!(f, "`{}`", token_text(other)),
+        }
+    }
+}
+
+fn token_text(t: &Tok) -> &'static str {
+    match t {
+        Tok::Vertex => "Vertex",
+        Tok::GlobalVariable => "GlobalVariable",
+        Tok::Initialize => "Initialize",
+        Tok::Traverse => "Traverse",
+        Tok::Update => "Update",
+        Tok::Let => "Let",
+        Tok::For => "For",
+        Tok::In => "in",
+        Tok::Where => "Where",
+        Tok::If => "If",
+        Tok::Else => "Else",
+        Tok::Accm => "Accm",
+        Tok::Array => "Array",
+        Tok::LParen => "(",
+        Tok::RParen => ")",
+        Tok::LBrace => "{",
+        Tok::RBrace => "}",
+        Tok::LBracket => "[",
+        Tok::RBracket => "]",
+        Tok::Comma => ",",
+        Tok::Colon => ":",
+        Tok::Semi => ";",
+        Tok::Dot => ".",
+        Tok::Assign => "=",
+        Tok::Plus => "+",
+        Tok::Minus => "-",
+        Tok::Star => "*",
+        Tok::Slash => "/",
+        Tok::Percent => "%",
+        Tok::Lt => "<",
+        Tok::Le => "<=",
+        Tok::Gt => ">",
+        Tok::Ge => ">=",
+        Tok::EqEq => "==",
+        Tok::Ne => "!=",
+        Tok::AndAnd => "&&",
+        Tok::OrOr => "||",
+        Tok::Not => "!",
+        _ => "?",
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub span: Span,
+}

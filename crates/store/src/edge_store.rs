@@ -1,0 +1,716 @@
+//! The delta-based edge store (paper §5.5).
+//!
+//! `G_0` and every `ΔG_t` (t > 0) are maintained as separate CSR-like
+//! segments — insertions and deletions in separate "files" — so the engine
+//! accesses the initial graph and graph mutations identically, and no
+//! in-place disk update is ever performed. Deletions are applied *lazily*:
+//! they live in an in-memory set and on-disk edges are masked when their
+//! page is loaded into the buffer pool.
+//!
+//! The store serves two time-travel views during an incremental run:
+//! [`View::Old`] (`es`, the graph as of snapshot t−1) and [`View::New`]
+//! (`es'`, as of snapshot t), plus the delta stream `Δes_t` itself — the
+//! three stream versions bound by the incrementalization rules.
+
+use crate::mutation::MutationBatch;
+use crate::pager::BufferPool;
+use itg_gsa::{FxHashSet, VertexId};
+use std::sync::Arc;
+
+/// Which snapshot view of the edge stream to read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum View {
+    /// `es` — the graph as of the previous snapshot (t−1).
+    Old,
+    /// `es'` — the graph including the current delta (t).
+    New,
+}
+
+/// One immutable CSR-like segment, the on-disk format of both the base
+/// graph and each delta file.
+#[derive(Debug, Clone)]
+pub struct CsrSegment {
+    /// `offsets[v]..offsets[v+1]` indexes `targets` for vertex v.
+    offsets: Vec<u64>,
+    targets: Vec<VertexId>,
+}
+
+impl CsrSegment {
+    /// Build from an unsorted edge list over `n` vertices.
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> CsrSegment {
+        let mut degree = vec![0u64; n];
+        for &(s, _) in edges {
+            degree[s as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u64;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut targets = vec![0; edges.len()];
+        let mut cursor = offsets.clone();
+        for &(s, d) in edges {
+            let c = &mut cursor[s as usize];
+            targets[*c as usize] = d;
+            *c += 1;
+        }
+        // Sort each adjacency list for deterministic scans.
+        for v in 0..n {
+            let (a, b) = (offsets[v] as usize, offsets[v + 1] as usize);
+            targets[a..b].sort_unstable();
+        }
+        CsrSegment { offsets, targets }
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Grow the vertex space (new vertices have empty adjacency).
+    fn grow(&mut self, n: usize) {
+        let last = *self.offsets.last().unwrap();
+        while self.offsets.len() < n + 1 {
+            self.offsets.push(last);
+        }
+    }
+
+    /// Adjacency slice of `v` (empty if `v` out of range).
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        if v + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Byte range of `v`'s adjacency within this segment (8 bytes per id),
+    /// for page accounting.
+    fn byte_range(&self, v: VertexId) -> (u64, u64) {
+        let v = v as usize;
+        if v + 1 >= self.offsets.len() {
+            return (0, 0);
+        }
+        (self.offsets[v] * 8, self.offsets[v + 1] * 8)
+    }
+
+    /// Serialized size in bytes: offsets + targets.
+    pub fn size_bytes(&self) -> u64 {
+        (self.offsets.len() as u64 + self.targets.len() as u64) * 8
+    }
+
+    /// All (src, dst) pairs, in src order.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.n()).flat_map(move |v| {
+            self.neighbors(v as VertexId)
+                .iter()
+                .map(move |&d| (v as VertexId, d))
+        })
+    }
+}
+
+/// One snapshot's delta: insert and delete segments kept separately so the
+/// execution engine knows the multiplicity of each edge tuple.
+#[derive(Debug, Clone)]
+pub struct DeltaSegment {
+    pub inserts: CsrSegment,
+    pub deletes: CsrSegment,
+}
+
+/// A single-direction edge store: base CSR plus the chain of delta
+/// segments. Directed graphs keep two of these (out and in).
+#[derive(Debug)]
+pub struct EdgeStoreDir {
+    n: usize,
+    base: CsrSegment,
+    deltas: Vec<DeltaSegment>,
+    /// All deletions up to the current snapshot / the previous snapshot.
+    deleted_new: FxHashSet<(VertexId, VertexId)>,
+    deleted_old: FxHashSet<(VertexId, VertexId)>,
+    /// Edges re-inserted after a deletion: both an old segment copy and a
+    /// newer insert-segment copy exist on disk, so scans must deduplicate
+    /// these (and only these) pairs.
+    resurrected: FxHashSet<(VertexId, VertexId)>,
+    degree_cur: Vec<u32>,
+    degree_prev: Vec<u32>,
+    /// Snapshots folded into the base by compaction; the logical snapshot
+    /// index is `snapshot_base + deltas.len()`.
+    snapshot_base: usize,
+    /// Base segment id for page accounting; delta t uses seg_base + 2t − 1
+    /// (inserts) and seg_base + 2t (deletes).
+    seg_base: u32,
+    pool: Arc<BufferPool>,
+}
+
+impl EdgeStoreDir {
+    pub fn new(
+        n: usize,
+        edges: &[(VertexId, VertexId)],
+        seg_base: u32,
+        pool: Arc<BufferPool>,
+    ) -> EdgeStoreDir {
+        let base = CsrSegment::from_edges(n, edges);
+        pool.record_write(base.size_bytes());
+        let mut degree = vec![0u32; n];
+        for &(s, _) in edges {
+            degree[s as usize] += 1;
+        }
+        EdgeStoreDir {
+            n,
+            base,
+            deltas: Vec::new(),
+            deleted_new: FxHashSet::default(),
+            deleted_old: FxHashSet::default(),
+            resurrected: FxHashSet::default(),
+            degree_cur: degree.clone(),
+            degree_prev: degree,
+            snapshot_base: 0,
+            seg_base,
+            pool,
+        }
+    }
+
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// The current snapshot index (0 = base only). Compaction folds
+    /// segments into the base without resetting the numbering.
+    pub fn snapshot(&self) -> usize {
+        self.snapshot_base + self.deltas.len()
+    }
+
+    /// Grow the vertex space.
+    pub fn grow(&mut self, n: usize) {
+        if n <= self.n {
+            return;
+        }
+        self.base.grow(n);
+        for d in &mut self.deltas {
+            d.inserts.grow(n);
+            d.deletes.grow(n);
+        }
+        self.degree_cur.resize(n, 0);
+        self.degree_prev.resize(n, 0);
+        self.n = n;
+    }
+
+    /// Ingest one snapshot's mutations. `inserts`/`deletes` are (src, dst)
+    /// lists for *this* direction.
+    pub fn apply_delta(
+        &mut self,
+        inserts: &[(VertexId, VertexId)],
+        deletes: &[(VertexId, VertexId)],
+    ) {
+        // Only sources index the CSR (destinations may live in another
+        // partition's id space), so growth is driven by sources; callers
+        // with a wider vertex space call `grow` explicitly first.
+        let max_v = inserts
+            .iter()
+            .chain(deletes.iter())
+            .map(|&(s, _)| s + 1)
+            .max()
+            .unwrap_or(0) as usize;
+        if max_v > self.n {
+            self.grow(max_v);
+        }
+        // The previous snapshot's view becomes the Old view.
+        self.degree_prev.copy_from_slice(&self.degree_cur);
+        self.deleted_old = self.deleted_new.clone();
+
+        let ins = CsrSegment::from_edges(self.n, inserts);
+        let del = CsrSegment::from_edges(self.n, deletes);
+        self.pool.record_write(ins.size_bytes() + del.size_bytes());
+        for &(s, _) in inserts {
+            self.degree_cur[s as usize] += 1;
+        }
+        for &(s, d) in deletes {
+            self.degree_cur[s as usize] = self.degree_cur[s as usize].saturating_sub(1);
+            self.deleted_new.insert((s, d));
+        }
+        // An insertion of an edge that was deleted in an *earlier* snapshot
+        // resurrects it: the tombstone is dropped so older on-disk copies
+        // become visible again — and since the new insert segment also holds
+        // a copy, the pair is recorded for scan-time deduplication.
+        for &(s, d) in inserts {
+            if self.deleted_new.remove(&(s, d)) {
+                self.resurrected.insert((s, d));
+            }
+        }
+        self.deltas.push(DeltaSegment {
+            inserts: ins,
+            deletes: del,
+        });
+    }
+
+    fn deleted_set(&self, view: View) -> &FxHashSet<(VertexId, VertexId)> {
+        match view {
+            View::Old => &self.deleted_old,
+            View::New => &self.deleted_new,
+        }
+    }
+
+    /// Which delta segments are visible in `view`.
+    fn visible_deltas(&self, view: View) -> &[DeltaSegment] {
+        match view {
+            View::New => &self.deltas,
+            View::Old => {
+                let t = self.deltas.len();
+                &self.deltas[..t.saturating_sub(1)]
+            }
+        }
+    }
+
+    /// Touch the pages backing `v`'s adjacency in segment `seg_id` and
+    /// perform lazy delete-masking on first load.
+    fn touch_adjacency(&self, seg: &CsrSegment, seg_id: u32, v: VertexId) {
+        let (a, b) = seg.byte_range(v);
+        self.pool.touch_range(seg_id, a, b);
+    }
+
+    /// Visit `v`'s out-neighbors in `view`, applying tombstones. The scan
+    /// order is: base segment, then delta insert segments oldest-first —
+    /// the same order a disk scan over the segment files would produce.
+    pub fn for_each_neighbor(&self, v: VertexId, view: View, mut f: impl FnMut(VertexId)) {
+        let deleted = self.deleted_set(view);
+        // Lazy dedup set, only consulted for resurrected pairs (rare).
+        let mut seen: Option<FxHashSet<VertexId>> = None;
+        let mut emit = |d: VertexId, f: &mut dyn FnMut(VertexId)| {
+            if self.resurrected.contains(&(v, d)) {
+                let s = seen.get_or_insert_with(FxHashSet::default);
+                if !s.insert(d) {
+                    return;
+                }
+            }
+            f(d);
+        };
+        self.touch_adjacency(&self.base, self.seg_base, v);
+        for &d in self.base.neighbors(v) {
+            if !deleted.contains(&(v, d)) {
+                emit(d, &mut f);
+            }
+        }
+        for (i, seg) in self.visible_deltas(view).iter().enumerate() {
+            let seg_id = self.seg_base + (2 * i as u32) + 1;
+            self.touch_adjacency(&seg.inserts, seg_id, v);
+            for &d in seg.inserts.neighbors(v) {
+                // An insert from snapshot τ is visible unless a *later*
+                // visible snapshot deleted it; the tombstone sets already
+                // encode exactly the net-deleted pairs.
+                if !deleted.contains(&(v, d)) {
+                    emit(d, &mut f);
+                }
+            }
+        }
+    }
+
+    /// Membership probe: multiplicity of edge (v, d) in `view` (1 present,
+    /// 0 absent). Binary search over each sorted segment — this is the
+    /// access path behind the multi-way intersection optimization, so it
+    /// must not scan the adjacency list. Touches only the probed pages.
+    pub fn edge_mult(&self, v: VertexId, d: VertexId, view: View) -> i64 {
+        if self.deleted_set(view).contains(&(v, d)) {
+            return 0;
+        }
+        // Probe base then visible insert segments; any hit wins (the
+        // resurrect path can leave multiple copies, but presence is still
+        // presence).
+        if self.base.neighbors(v).binary_search(&d).is_ok() {
+            let (a, _) = self.base.byte_range(v);
+            self.pool.touch_range(self.seg_base, a, a + 8);
+            return 1;
+        }
+        for (i, seg) in self.visible_deltas(view).iter().enumerate() {
+            if seg.inserts.neighbors(v).binary_search(&d).is_ok() {
+                let seg_id = self.seg_base + (2 * i as u32) + 1;
+                let (a, _) = seg.inserts.byte_range(v);
+                self.pool.touch_range(seg_id, a, a + 8);
+                return 1;
+            }
+        }
+        0
+    }
+
+    /// Membership probe into the latest delta: +1 inserted, −1 deleted,
+    /// 0 untouched.
+    pub fn delta_edge_mult(&self, v: VertexId, d: VertexId) -> i64 {
+        let Some(seg) = self.deltas.last() else {
+            return 0;
+        };
+        if seg.inserts.neighbors(v).binary_search(&d).is_ok() {
+            return 1;
+        }
+        if seg.deletes.neighbors(v).binary_search(&d).is_ok() {
+            return -1;
+        }
+        0
+    }
+
+    /// Collect `v`'s neighbors in `view`.
+    pub fn neighbors(&self, v: VertexId, view: View) -> Vec<VertexId> {
+        let mut out = Vec::with_capacity(self.degree(v, view) as usize);
+        self.for_each_neighbor(v, view, |d| out.push(d));
+        out
+    }
+
+    pub fn degree(&self, v: VertexId, view: View) -> u32 {
+        let v = v as usize;
+        if v >= self.n {
+            return 0;
+        }
+        match view {
+            View::Old => self.degree_prev[v],
+            View::New => self.degree_cur[v],
+        }
+    }
+
+    /// The latest delta stream Δes_t as (src, dst, multiplicity) tuples;
+    /// reading it costs its segment bytes once per call.
+    pub fn for_each_delta_edge(&self, mut f: impl FnMut(VertexId, VertexId, i64)) {
+        if let Some(d) = self.deltas.last() {
+            let t = self.deltas.len();
+            let ins_id = self.seg_base + (2 * (t as u32 - 1)) + 1;
+            let del_id = ins_id + 1;
+            self.pool.touch_range(ins_id, 0, d.inserts.size_bytes());
+            self.pool.touch_range(del_id, 0, d.deletes.size_bytes());
+            for (s, dst) in d.inserts.iter_edges() {
+                f(s, dst, 1);
+            }
+            for (s, dst) in d.deletes.iter_edges() {
+                f(s, dst, -1);
+            }
+        }
+    }
+
+    /// Latest delta edges of `v` only.
+    pub fn for_each_delta_neighbor(&self, v: VertexId, mut f: impl FnMut(VertexId, i64)) {
+        if let Some(d) = self.deltas.last() {
+            let t = self.deltas.len();
+            let ins_id = self.seg_base + (2 * (t as u32 - 1)) + 1;
+            self.touch_adjacency(&d.inserts, ins_id, v);
+            self.touch_adjacency(&d.deletes, ins_id + 1, v);
+            for &dst in d.inserts.neighbors(v) {
+                f(dst, 1);
+            }
+            for &dst in d.deletes.neighbors(v) {
+                f(dst, -1);
+            }
+        }
+    }
+
+    /// Number of edges in the current (`New`) view.
+    pub fn num_edges(&self) -> u64 {
+        self.degree_cur.iter().map(|&d| d as u64).sum()
+    }
+
+    /// Total on-disk bytes across all segments (for memory/size reporting).
+    pub fn size_bytes(&self) -> u64 {
+        self.base.size_bytes()
+            + self
+                .deltas
+                .iter()
+                .map(|d| d.inserts.size_bytes() + d.deletes.size_bytes())
+                .sum::<u64>()
+    }
+
+    /// Number of delta segments currently chained behind the base.
+    pub fn delta_segments(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Compact the segment chain: rewrite the base CSR from the current
+    /// (`New`) view and drop every delta segment and tombstone. Only legal
+    /// *between* snapshots — compaction collapses the `Old` view and the
+    /// delta stream into the new base (afterwards `Old == New` and the
+    /// delta stream is empty), so callers must have finished incremental
+    /// processing for the latest batch. Read cost: the whole chain; write
+    /// cost: the new base.
+    pub fn compact(&mut self) {
+        if self.deltas.is_empty() {
+            return;
+        }
+        let read_bytes = self.size_bytes();
+        let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+        for v in 0..self.n as VertexId {
+            self.for_each_neighbor_unaccounted(v, View::New, |d| edges.push((v, d)));
+        }
+        let base = CsrSegment::from_edges(self.n, &edges);
+        self.pool.stats().add_disk_read(read_bytes);
+        self.pool.record_write(base.size_bytes());
+        self.base = base;
+        self.snapshot_base += self.deltas.len();
+        self.deltas.clear();
+        self.deleted_new.clear();
+        self.deleted_old.clear();
+        self.resurrected.clear();
+        self.degree_prev.copy_from_slice(&self.degree_cur);
+        self.pool.clear();
+    }
+
+    /// Neighbor scan without buffer-pool charging (compaction's internal
+    /// sequential read is accounted once, in bulk).
+    fn for_each_neighbor_unaccounted(
+        &self,
+        v: VertexId,
+        view: View,
+        mut f: impl FnMut(VertexId),
+    ) {
+        let deleted = self.deleted_set(view);
+        let mut seen: Option<FxHashSet<VertexId>> = None;
+        let mut emit = |d: VertexId, f: &mut dyn FnMut(VertexId)| {
+            if self.resurrected.contains(&(v, d)) {
+                let s = seen.get_or_insert_with(FxHashSet::default);
+                if !s.insert(d) {
+                    return;
+                }
+            }
+            f(d);
+        };
+        for &d in self.base.neighbors(v) {
+            if !deleted.contains(&(v, d)) {
+                emit(d, &mut f);
+            }
+        }
+        for seg in self.visible_deltas(view) {
+            for &d in seg.inserts.neighbors(v) {
+                if !deleted.contains(&(v, d)) {
+                    emit(d, &mut f);
+                }
+            }
+        }
+    }
+}
+
+/// The full edge store: out-direction always, in-direction (reverse
+/// adjacency, required by backward MS-BFS) kept for directed graphs.
+/// Undirected graphs store mirrored edges, so the out direction serves both.
+#[derive(Debug)]
+pub struct EdgeStore {
+    out: EdgeStoreDir,
+    rev: Option<EdgeStoreDir>,
+}
+
+impl EdgeStore {
+    /// Build from a directed edge list. When `undirected`, the caller must
+    /// pass mirrored edges and no separate reverse store is kept.
+    pub fn new(
+        n: usize,
+        edges: &[(VertexId, VertexId)],
+        undirected: bool,
+        pool: Arc<BufferPool>,
+    ) -> EdgeStore {
+        let out = EdgeStoreDir::new(n, edges, 0, pool.clone());
+        let rev = if undirected {
+            None
+        } else {
+            let rev_edges: Vec<(VertexId, VertexId)> =
+                edges.iter().map(|&(s, d)| (d, s)).collect();
+            Some(EdgeStoreDir::new(n, &rev_edges, 1 << 16, pool))
+        };
+        EdgeStore { out, rev }
+    }
+
+    pub fn is_undirected(&self) -> bool {
+        self.rev.is_none()
+    }
+
+    pub fn out_dir(&self) -> &EdgeStoreDir {
+        &self.out
+    }
+
+    /// Reverse-direction store (identical to out for undirected graphs).
+    pub fn rev_dir(&self) -> &EdgeStoreDir {
+        self.rev.as_ref().unwrap_or(&self.out)
+    }
+
+    pub fn num_vertices(&self) -> usize {
+        self.out.num_vertices()
+    }
+
+    pub fn num_edges(&self) -> u64 {
+        self.out.num_edges()
+    }
+
+    pub fn snapshot(&self) -> usize {
+        self.out.snapshot()
+    }
+
+    pub fn grow(&mut self, n: usize) {
+        self.out.grow(n);
+        if let Some(r) = &mut self.rev {
+            r.grow(n);
+        }
+    }
+
+    /// Compact both directions' segment chains (see
+    /// [`EdgeStoreDir::compact`]).
+    pub fn compact(&mut self) {
+        self.out.compact();
+        if let Some(r) = &mut self.rev {
+            r.compact();
+        }
+    }
+
+    /// Apply a mutation batch (already mirrored for undirected graphs).
+    /// The batch is consolidated first: same-edge insert/delete pairs
+    /// within one batch cancel.
+    pub fn apply_batch(&mut self, batch: &MutationBatch) {
+        let batch = batch.consolidated();
+        let ins: Vec<(VertexId, VertexId)> =
+            batch.inserts().map(|e| (e.src, e.dst)).collect();
+        let del: Vec<(VertexId, VertexId)> =
+            batch.deletes().map(|e| (e.src, e.dst)).collect();
+        self.out.apply_delta(&ins, &del);
+        if let Some(r) = &mut self.rev {
+            let rins: Vec<(VertexId, VertexId)> = ins.iter().map(|&(s, d)| (d, s)).collect();
+            let rdel: Vec<(VertexId, VertexId)> = del.iter().map(|&(s, d)| (d, s)).collect();
+            r.apply_delta(&rins, &rdel);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mutation::EdgeMutation;
+    use crate::stats::IoStats;
+
+    fn store(edges: &[(u64, u64)]) -> EdgeStore {
+        let pool = Arc::new(BufferPool::new(1 << 20, 4096, IoStats::new()));
+        let n = edges.iter().map(|&(a, b)| a.max(b) + 1).max().unwrap_or(0) as usize;
+        EdgeStore::new(n, edges, false, pool)
+    }
+
+    #[test]
+    fn csr_sorted_adjacency() {
+        let seg = CsrSegment::from_edges(4, &[(1, 3), (1, 0), (2, 2), (1, 2)]);
+        assert_eq!(seg.neighbors(1), &[0, 2, 3]);
+        assert_eq!(seg.neighbors(0), &[] as &[u64]);
+        assert_eq!(seg.neighbors(7), &[] as &[u64]);
+        assert_eq!(seg.num_edges(), 4);
+        let all: Vec<_> = seg.iter_edges().collect();
+        assert_eq!(all, vec![(1, 0), (1, 2), (1, 3), (2, 2)]);
+    }
+
+    #[test]
+    fn views_across_one_delta() {
+        let mut s = store(&[(0, 1), (0, 2), (1, 2)]);
+        s.apply_batch(&MutationBatch::new(vec![
+            EdgeMutation::insert(0, 3),
+            EdgeMutation::delete(0, 1),
+        ]));
+        assert_eq!(s.out_dir().neighbors(0, View::Old), vec![1, 2]);
+        assert_eq!(s.out_dir().neighbors(0, View::New), vec![2, 3]);
+        assert_eq!(s.out_dir().degree(0, View::Old), 2);
+        assert_eq!(s.out_dir().degree(0, View::New), 2);
+        // Reverse direction is maintained for directed graphs.
+        assert_eq!(s.rev_dir().neighbors(3, View::New), vec![0]);
+        assert_eq!(s.rev_dir().neighbors(1, View::New), Vec::<u64>::new());
+        assert_eq!(s.rev_dir().neighbors(1, View::Old), vec![0]);
+    }
+
+    #[test]
+    fn delta_stream_has_signed_tuples() {
+        let mut s = store(&[(0, 1)]);
+        s.apply_batch(&MutationBatch::new(vec![
+            EdgeMutation::insert(2, 0),
+            EdgeMutation::delete(0, 1),
+        ]));
+        let mut got = Vec::new();
+        s.out_dir().for_each_delta_edge(|a, b, m| got.push((a, b, m)));
+        got.sort();
+        assert_eq!(got, vec![(0, 1, -1), (2, 0, 1)]);
+    }
+
+    #[test]
+    fn chained_snapshots_resurrect_deleted_edge() {
+        let mut s = store(&[(0, 1), (0, 2)]);
+        s.apply_batch(&MutationBatch::new(vec![EdgeMutation::delete(0, 1)]));
+        assert_eq!(s.out_dir().neighbors(0, View::New), vec![2]);
+        s.apply_batch(&MutationBatch::new(vec![EdgeMutation::insert(0, 1)]));
+        let mut n = s.out_dir().neighbors(0, View::New);
+        n.sort_unstable();
+        assert_eq!(n, vec![1, 2]);
+        // Old view is the post-deletion snapshot.
+        assert_eq!(s.out_dir().neighbors(0, View::Old), vec![2]);
+    }
+
+    #[test]
+    fn growth_on_new_vertices() {
+        let mut s = store(&[(0, 1)]);
+        s.apply_batch(&MutationBatch::new(vec![EdgeMutation::insert(5, 0)]));
+        assert_eq!(s.num_vertices(), 6);
+        assert_eq!(s.out_dir().neighbors(5, View::New), vec![0]);
+        assert_eq!(s.out_dir().neighbors(5, View::Old), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn io_accounted_through_pool() {
+        let pool = Arc::new(BufferPool::new(1 << 20, 64, IoStats::new()));
+        let edges: Vec<(u64, u64)> = (0..100).map(|i| (i, (i + 1) % 100)).collect();
+        let s = EdgeStore::new(100, &edges, true, pool.clone());
+        let before = pool.stats().snapshot();
+        assert!(before.disk_write_bytes > 0, "base CSR write accounted");
+        s.out_dir().neighbors(5, View::New);
+        let after = pool.stats().snapshot();
+        assert!(after.page_reads > before.page_reads);
+        // Re-reading the same vertex hits the pool.
+        s.out_dir().neighbors(5, View::New);
+        let again = pool.stats().snapshot();
+        assert_eq!(again.page_reads, after.page_reads);
+        assert!(again.page_hits > after.page_hits);
+    }
+
+    #[test]
+    fn compaction_preserves_new_view_and_drops_chain() {
+        let mut s = store(&[(0, 1), (0, 2), (1, 2)]);
+        s.apply_batch(&MutationBatch::new(vec![
+            EdgeMutation::insert(0, 3),
+            EdgeMutation::delete(0, 1),
+        ]));
+        s.apply_batch(&MutationBatch::new(vec![EdgeMutation::insert(2, 0)]));
+        let before: Vec<Vec<u64>> = (0..4)
+            .map(|v| {
+                let mut n = s.out_dir().neighbors(v, View::New);
+                n.sort_unstable();
+                n
+            })
+            .collect();
+        assert_eq!(s.out_dir().delta_segments(), 2);
+        let size_before = s.out_dir().size_bytes();
+
+        s.compact();
+        assert_eq!(s.out_dir().delta_segments(), 0);
+        assert!(s.out_dir().size_bytes() <= size_before);
+        for v in 0..4u64 {
+            let mut n = s.out_dir().neighbors(v, View::New);
+            n.sort_unstable();
+            assert_eq!(n, before[v as usize], "vertex {v}");
+            // After compaction Old == New and the delta stream is empty.
+            let mut o = s.out_dir().neighbors(v, View::Old);
+            o.sort_unstable();
+            assert_eq!(o, before[v as usize]);
+        }
+        let mut delta = Vec::new();
+        s.out_dir().for_each_delta_edge(|a, b, m| delta.push((a, b, m)));
+        assert!(delta.is_empty());
+
+        // The store keeps working across post-compaction batches.
+        s.apply_batch(&MutationBatch::new(vec![EdgeMutation::delete(2, 0)]));
+        assert_eq!(s.out_dir().neighbors(2, View::New), vec![]);
+        assert_eq!(s.out_dir().neighbors(2, View::Old), vec![0]);
+    }
+
+    #[test]
+    fn undirected_store_uses_out_for_reverse() {
+        let pool = Arc::new(BufferPool::new(1 << 20, 4096, IoStats::new()));
+        let s = EdgeStore::new(3, &[(0, 1), (1, 0)], true, pool);
+        assert!(s.is_undirected());
+        assert_eq!(s.rev_dir().neighbors(0, View::New), vec![1]);
+    }
+}

@@ -1,0 +1,30 @@
+//! # itg-store — the dynamic graph store (paper §5.5)
+//!
+//! A delta-based store for dynamic graphs under analytics workloads:
+//!
+//! - [`edge_store`]: the base graph `G_0` and every mutation batch `ΔG_t`
+//!   as separate CSR-like segments (insertions and deletions in separate
+//!   files), lazy deletion masking, time-travel `Old`/`New` views, and
+//!   reverse adjacency for backward MS-BFS.
+//! - [`vertex_store`]: per-(snapshot, superstep) after-image delta chains
+//!   for vertex attribute values, with the overlay invariant the engine's
+//!   read path relies on.
+//! - [`maintenance`]: the cost-based merge strategy (and the NoMerge /
+//!   PeriodicMerge baselines of Figure 17).
+//! - [`pager`]: the LRU page buffer pool; all reads are byte-accounted.
+//! - [`stats`]: shared IO / network / work counters.
+//! - [`mutation`]: `ΔG` batch representation.
+
+pub mod edge_store;
+pub mod maintenance;
+pub mod mutation;
+pub mod pager;
+pub mod stats;
+pub mod vertex_store;
+
+pub use edge_store::{CsrSegment, DeltaSegment, EdgeStore, EdgeStoreDir, View};
+pub use maintenance::{ChainSummary, MaintenancePolicy};
+pub use mutation::{EdgeMutation, MutationBatch};
+pub use pager::{BufferPool, PageId, DEFAULT_PAGE_SIZE};
+pub use stats::{IoSnapshot, IoStats};
+pub use vertex_store::{AttrStore, Run};

@@ -1,0 +1,88 @@
+//! Delta maintenance policies for the vertex store (paper §5.5, Figure 17).
+//!
+//! Keeping attribute changes as deltas minimizes disk writes, but every
+//! incremental run re-reads the whole delta chain of each superstep; the
+//! chains must eventually be merged. The paper's cost model compares, for
+//! superstep `s` at snapshot `t`, the write cost of merging
+//! `W_merge = |∪_{τ≤t} X^{(τ,s)}|` against the projected read cost of the
+//! deltas `R_delta = Σ_{0<τ<t} (t−τ)·|X^{(τ,s)}|`, merging when writing the
+//! consolidated file is cheaper than the repeated reads.
+
+/// When to merge a superstep's delta chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintenancePolicy {
+    /// Never merge (the NoMerge baseline of §6.4.2).
+    NoMerge,
+    /// Merge every `period` snapshots (the PeriodicMerge baseline).
+    Periodic(usize),
+    /// The paper's cost-based strategy.
+    CostBased,
+}
+
+/// Summary of one superstep's delta chain, fed to the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainSummary {
+    /// Current snapshot t.
+    pub snapshot: usize,
+    /// `|∪_{τ≤t} X^{(τ,s)}|`: distinct vertices across checkpoint + runs.
+    pub distinct_vertices: u64,
+    /// `Σ_{0<τ<t} (t−τ)·|X^{(τ,s)}|` over the unmerged runs.
+    pub weighted_run_reads: u64,
+    /// Number of unmerged runs in the chain.
+    pub run_count: usize,
+}
+
+impl MaintenancePolicy {
+    /// Decide whether to merge the chain now.
+    pub fn should_merge(&self, chain: &ChainSummary) -> bool {
+        if chain.run_count == 0 {
+            return false;
+        }
+        match self {
+            MaintenancePolicy::NoMerge => false,
+            MaintenancePolicy::Periodic(period) => {
+                *period > 0 && chain.snapshot > 0 && chain.snapshot % period == 0
+            }
+            MaintenancePolicy::CostBased => {
+                chain.distinct_vertices < chain.weighted_run_reads
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(snapshot: usize, distinct: u64, weighted: u64, runs: usize) -> ChainSummary {
+        ChainSummary {
+            snapshot,
+            distinct_vertices: distinct,
+            weighted_run_reads: weighted,
+            run_count: runs,
+        }
+    }
+
+    #[test]
+    fn nomerge_never_merges() {
+        assert!(!MaintenancePolicy::NoMerge.should_merge(&chain(100, 1, u64::MAX, 50)));
+    }
+
+    #[test]
+    fn periodic_merges_on_period() {
+        let p = MaintenancePolicy::Periodic(50);
+        assert!(!p.should_merge(&chain(49, 10, 10, 5)));
+        assert!(p.should_merge(&chain(50, 10, 10, 5)));
+        assert!(p.should_merge(&chain(100, 10, 10, 5)));
+        assert!(!p.should_merge(&chain(50, 10, 10, 0)), "empty chain");
+    }
+
+    #[test]
+    fn cost_based_compares_write_vs_read() {
+        let p = MaintenancePolicy::CostBased;
+        // Cheap write, expensive projected reads → merge.
+        assert!(p.should_merge(&chain(10, 100, 5000, 9)));
+        // Expensive write, cheap reads → keep deltas.
+        assert!(!p.should_merge(&chain(2, 5000, 100, 1)));
+    }
+}

@@ -1,0 +1,118 @@
+//! Graph mutation batches ΔG_t: edge insertions and deletions.
+
+use itg_gsa::VertexId;
+
+/// One edge mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeMutation {
+    pub src: VertexId,
+    pub dst: VertexId,
+    /// +1 for insertion, −1 for deletion (the stream multiplicity model).
+    pub mult: i8,
+}
+
+impl EdgeMutation {
+    pub fn insert(src: VertexId, dst: VertexId) -> EdgeMutation {
+        EdgeMutation { src, dst, mult: 1 }
+    }
+
+    pub fn delete(src: VertexId, dst: VertexId) -> EdgeMutation {
+        EdgeMutation { src, dst, mult: -1 }
+    }
+
+    pub fn is_insert(&self) -> bool {
+        self.mult > 0
+    }
+}
+
+/// A batch of mutations applied atomically as one snapshot transition
+/// `G_{t-1} → G_t`.
+#[derive(Debug, Clone, Default)]
+pub struct MutationBatch {
+    pub edges: Vec<EdgeMutation>,
+}
+
+impl MutationBatch {
+    pub fn new(edges: Vec<EdgeMutation>) -> MutationBatch {
+        MutationBatch { edges }
+    }
+
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    pub fn inserts(&self) -> impl Iterator<Item = &EdgeMutation> {
+        self.edges.iter().filter(|e| e.is_insert())
+    }
+
+    pub fn deletes(&self) -> impl Iterator<Item = &EdgeMutation> {
+        self.edges.iter().filter(|e| !e.is_insert())
+    }
+
+    /// For undirected graphs: mirror every mutation so both directions are
+    /// present (the paper models an undirected graph as a directed graph
+    /// with edge pairs, §4).
+    pub fn mirrored(&self) -> MutationBatch {
+        let mut edges = Vec::with_capacity(self.edges.len() * 2);
+        for e in &self.edges {
+            edges.push(*e);
+            edges.push(EdgeMutation {
+                src: e.dst,
+                dst: e.src,
+                mult: e.mult,
+            });
+        }
+        MutationBatch { edges }
+    }
+
+    /// The largest vertex id referenced, if any.
+    pub fn max_vertex(&self) -> Option<VertexId> {
+        self.edges.iter().map(|e| e.src.max(e.dst)).max()
+    }
+
+    /// Consolidate to net multiplicities per edge: an insert and a delete
+    /// of the same edge within one batch cancel (the ±1 multiset model),
+    /// and duplicates collapse to a single ±1 mutation. Stores ingest the
+    /// consolidated form so the delta stream is a canonical multiset.
+    pub fn consolidated(&self) -> MutationBatch {
+        let mut net: std::collections::BTreeMap<(VertexId, VertexId), i64> =
+            std::collections::BTreeMap::new();
+        for e in &self.edges {
+            *net.entry((e.src, e.dst)).or_insert(0) += e.mult as i64;
+        }
+        let edges = net
+            .into_iter()
+            .filter(|&(_, m)| m != 0)
+            .map(|((src, dst), m)| EdgeMutation {
+                src,
+                dst,
+                mult: if m > 0 { 1 } else { -1 },
+            })
+            .collect();
+        MutationBatch { edges }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirrored_doubles_and_flips() {
+        let b = MutationBatch::new(vec![
+            EdgeMutation::insert(1, 2),
+            EdgeMutation::delete(3, 4),
+        ]);
+        let m = b.mirrored();
+        assert_eq!(m.len(), 4);
+        assert!(m.edges.contains(&EdgeMutation::insert(2, 1)));
+        assert!(m.edges.contains(&EdgeMutation::delete(4, 3)));
+        assert_eq!(m.inserts().count(), 2);
+        assert_eq!(m.deletes().count(), 2);
+        assert_eq!(m.max_vertex(), Some(4));
+    }
+}

@@ -1,0 +1,149 @@
+//! Byte-accurate IO and memory accounting.
+//!
+//! Every disk read/write in the store and every simulated network transfer
+//! in the engine increments these counters. The paper's evaluation reports
+//! reductions in disk IO bytes and network transfer sizes (§6.2); these
+//! counters regenerate those metrics exactly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared counters. Cheap to clone (an `Arc` internally).
+#[derive(Debug, Default, Clone)]
+pub struct IoStats {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    disk_read_bytes: AtomicU64,
+    disk_write_bytes: AtomicU64,
+    page_reads: AtomicU64,
+    page_hits: AtomicU64,
+    net_bytes: AtomicU64,
+    walks_enumerated: AtomicU64,
+    recomputations: AtomicU64,
+}
+
+/// A point-in-time snapshot of the counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    pub disk_read_bytes: u64,
+    pub disk_write_bytes: u64,
+    pub page_reads: u64,
+    pub page_hits: u64,
+    pub net_bytes: u64,
+    pub walks_enumerated: u64,
+    pub recomputations: u64,
+}
+
+impl IoSnapshot {
+    /// Counter-wise difference `self - earlier` (for per-phase accounting).
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            disk_read_bytes: self.disk_read_bytes - earlier.disk_read_bytes,
+            disk_write_bytes: self.disk_write_bytes - earlier.disk_write_bytes,
+            page_reads: self.page_reads - earlier.page_reads,
+            page_hits: self.page_hits - earlier.page_hits,
+            net_bytes: self.net_bytes - earlier.net_bytes,
+            walks_enumerated: self.walks_enumerated - earlier.walks_enumerated,
+            recomputations: self.recomputations - earlier.recomputations,
+        }
+    }
+
+    pub fn total_disk_bytes(&self) -> u64 {
+        self.disk_read_bytes + self.disk_write_bytes
+    }
+}
+
+impl IoStats {
+    pub fn new() -> IoStats {
+        IoStats::default()
+    }
+
+    #[inline]
+    pub fn add_disk_read(&self, bytes: u64) {
+        self.inner.disk_read_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_disk_write(&self, bytes: u64) {
+        self.inner.disk_write_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_page_read(&self) {
+        self.inner.page_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_page_hit(&self) {
+        self.inner.page_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_net(&self, bytes: u64) {
+        self.inner.net_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_walks(&self, n: u64) {
+        self.inner.walks_enumerated.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_recomputation(&self) {
+        self.inner.recomputations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            disk_read_bytes: self.inner.disk_read_bytes.load(Ordering::Relaxed),
+            disk_write_bytes: self.inner.disk_write_bytes.load(Ordering::Relaxed),
+            page_reads: self.inner.page_reads.load(Ordering::Relaxed),
+            page_hits: self.inner.page_hits.load(Ordering::Relaxed),
+            net_bytes: self.inner.net_bytes.load(Ordering::Relaxed),
+            walks_enumerated: self.inner.walks_enumerated.load(Ordering::Relaxed),
+            recomputations: self.inner.recomputations.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.inner.disk_read_bytes.store(0, Ordering::Relaxed);
+        self.inner.disk_write_bytes.store(0, Ordering::Relaxed);
+        self.inner.page_reads.store(0, Ordering::Relaxed);
+        self.inner.page_hits.store(0, Ordering::Relaxed);
+        self.inner.net_bytes.store(0, Ordering::Relaxed);
+        self.inner.walks_enumerated.store(0, Ordering::Relaxed);
+        self.inner.recomputations.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_diff() {
+        let s = IoStats::new();
+        s.add_disk_read(100);
+        let a = s.snapshot();
+        s.add_disk_read(50);
+        s.add_net(7);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.disk_read_bytes, 50);
+        assert_eq!(d.net_bytes, 7);
+        assert_eq!(b.total_disk_bytes(), 150);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let s = IoStats::new();
+        let c = s.clone();
+        c.add_page_hit();
+        assert_eq!(s.snapshot().page_hits, 1);
+        s.reset();
+        assert_eq!(c.snapshot().page_hits, 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Writing a *new* algorithm in `L_NGA`: weighted two-hop influence.
+//!
+//! Each vertex scores the reach of its two-hop neighborhood — a
+//! neighbor-centric computation that a vertex-centric system would need
+//! multiple supersteps of message encoding to express (paper §1/Figure 3),
+//! and whose incremental version would otherwise have to be written and
+//! verified by hand. Here both fall out of the compiler.
+//!
+//! Run with: `cargo run --release --example custom_algorithm`
+
+use iturbograph::prelude::*;
+
+/// Two-hop influence: each vertex u accumulates, over every distinct walk
+/// u → v → w with w ≠ u, one unit weighted against u's own degree — a
+/// reach-per-connection score.
+const TWO_HOP_INFLUENCE: &str = r#"
+    Vertex (id, active, nbrs, degree,
+            reach: Accm<long, SUM>, influence: long)
+    Initialize (u): {
+        u.active = true;
+    }
+    Traverse (u): {
+        For v in u.nbrs {
+            For w in v.nbrs Where (w != u) {
+                u.reach.Accumulate(1);
+            }
+        }
+    }
+    Update (u): {
+        u.influence = (1000 * u.reach) / (u.degree + 1);
+    }
+"#;
+
+fn main() {
+    // A hub-and-chain graph: hub 0 with spokes, chain hanging off spoke 1.
+    let edges = vec![
+        (0, 1),
+        (0, 2),
+        (0, 3),
+        (0, 4),
+        (1, 5),
+        (5, 6),
+        (6, 7),
+    ];
+    let graph = GraphInput::undirected(edges);
+    let mut session =
+        Session::from_source(TWO_HOP_INFLUENCE, &graph, EngineConfig::default())
+            .expect("custom program compiles");
+
+    println!("compiled plans for a user-defined NGA program:");
+    println!("{}", session.program.algebra.explain());
+    println!(
+        "automatic incrementalization produced {} Δ-walk sub-queries\n",
+        session.program.delta_traverse.len()
+    );
+
+    session.run_oneshot();
+    print_scores(&session, 8);
+
+    // Wire vertex 7 into the hub: influence shifts along the chain, and
+    // only the affected region is recomputed.
+    session.apply_mutations(&MutationBatch::new(vec![EdgeMutation::insert(7, 0)]));
+    let inc = session.run_incremental();
+    println!(
+        "\nafter inserting (7,0): {} Δ-walk work units, {} walks",
+        inc.work_units, inc.io.walks_enumerated
+    );
+    print_scores(&session, 8);
+}
+
+fn print_scores(session: &Session, n: u64) {
+    for v in 0..n {
+        println!(
+            "  v{v}: influence {}",
+            session.attr_value(v, "influence").unwrap()
+        );
+    }
+}
