@@ -73,12 +73,12 @@ impl GraphBolt {
         let mut vals: Vec<i64> = (0..n as u32).map(|v| rule_init(self.rule, v)).collect();
         for _ in 0..self.iterations {
             let mut sums = vec![0i64; n];
-            for src in 0..n {
+            for (src, &val) in vals.iter().enumerate() {
                 let deg = self.adj[src].len();
                 if deg == 0 {
                     continue;
                 }
-                let msg = vals[src] / deg as i64;
+                let msg = val / deg as i64;
                 for &d in &self.adj[src] {
                     sums[d as usize] += msg;
                 }

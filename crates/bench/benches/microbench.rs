@@ -39,8 +39,10 @@ fn bench_delta_walks(c: &mut Criterion) {
             b.iter_batched(
                 || {
                     let mut ds = Dataset::rmat_undirected("b", 11, 7);
-                    let mut cfg = EngineConfig::default();
-                    cfg.opts = opts;
+                    let cfg = EngineConfig {
+                        opts,
+                        ..EngineConfig::default()
+                    };
                     let mut s = Session::from_source(
                         iturbograph::algorithms::TRIANGLE_COUNT,
                         &ds.graph_input(),
@@ -58,6 +60,35 @@ fn bench_delta_walks(c: &mut Criterion) {
                 criterion::BatchSize::LargeInput,
             );
         });
+    }
+    group.finish();
+}
+
+/// Intra-partition thread scaling on a skewed-degree RMAT graph: the same
+/// enumeration at 1/2/4 threads per machine. On a multi-core host the
+/// 4-thread rows should run ≥1.5× faster than 1-thread; on a single-core
+/// host the times converge (the chunk/merge overhead is the difference).
+fn bench_intra_partition_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intra_partition_scaling");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let ds = Dataset::rmat_undirected("b", 12, 42);
+        group.bench_with_input(
+            BenchmarkId::new("tc_oneshot_threads", threads),
+            &ds,
+            |b, ds| {
+                b.iter(|| {
+                    let mut s = Session::from_source(
+                        iturbograph::algorithms::TRIANGLE_COUNT,
+                        &ds.graph_input(),
+                        EngineConfig::default().with_threads(threads),
+                    )
+                    .unwrap();
+                    s.run_oneshot();
+                    s.global_value("cnts", None).unwrap()
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -159,6 +190,7 @@ criterion_group!(
     benches,
     bench_walk_enumeration,
     bench_delta_walks,
+    bench_intra_partition_scaling,
     bench_store,
     bench_compiler,
     bench_accumulate,

@@ -4,8 +4,11 @@
 //!
 //! ```text
 //! cargo run --release -p itg-bench --bin expt -- <table6|fig12|fig13|fig14|
-//!     fig15a|fig15b|fig16a|fig16b|fig17|all>
+//!     fig15a|fig15b|fig16a|fig16b|fig17|scaling|all>
 //! ```
+//!
+//! `scaling` is not a paper artifact: it measures intra-partition thread
+//! scaling (`threads_per_machine` ∈ {1, 2, 4}) on a skewed RMAT graph.
 
 use itg_baselines::{DdIterative, DdTriangles, GraphBolt, MemoryBudget, ValueRule};
 use itg_bench::*;
@@ -24,6 +27,7 @@ fn main() {
         "fig16a" => fig16a(),
         "fig16b" => fig16b(),
         "fig17" => fig17(),
+        "scaling" => scaling(),
         "all" => {
             table6();
             fig12();
@@ -34,6 +38,7 @@ fn main() {
             fig16a();
             fig16b();
             fig17();
+            scaling();
         }
         other => {
             eprintln!("unknown experiment `{other}`");
@@ -510,6 +515,63 @@ fn fig16b() {
         ],
         &rows,
     );
+}
+
+/// Intra-partition thread scaling: the walk-enumeration phases of a single
+/// simulated machine on a skewed-degree RMAT graph, at 1/2/4 worker
+/// threads. All three rows compute identical results (the chunk merge is
+/// deterministic); only the wall clock and the scheduling counters differ.
+/// Wall-clock speedup requires host cores — on a single-core host the rows
+/// converge and the table degenerates to an overhead measurement, which
+/// the footer calls out.
+fn scaling() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut rows = Vec::new();
+    for algo in ["tc", "pr"] {
+        let mut base: Option<f64> = None;
+        for threads in [1usize, 2, 4] {
+            let seed = 900;
+            let mut ds = if algo == "pr" {
+                Dataset::rmat_directed("RMAT_15", 15, seed)
+            } else {
+                Dataset::rmat_undirected("RMAT_15", 15, seed)
+            };
+            let src = iturbograph::algorithms::source(algo).unwrap();
+            let cfg = single_machine_cfg(algo).with_threads(threads);
+            let r = run_itbgpp(&mut ds, &src, cfg, BATCHES, BATCH_SIZE, RATIO);
+            let one = r.one_shot.secs();
+            let b = *base.get_or_insert(one);
+            rows.push(vec![
+                algo.to_uppercase(),
+                format!("{threads}"),
+                format!("{one:.4}"),
+                format!("{:.4}", r.mean_incremental_secs()),
+                format!("{:.2}x", b / one.max(1e-12)),
+                format!("{}", r.one_shot.parallel.chunks),
+                format!("{}", r.one_shot.parallel.imbalance()),
+            ]);
+        }
+    }
+    print_table(
+        &format!("Thread scaling on 1 machine, {cores} host core(s): one-shot speedup vs 1 thread"),
+        &[
+            "algo",
+            "threads",
+            "one-shot [s]",
+            "incremental [s]",
+            "speedup",
+            "chunks",
+            "imbalance",
+        ],
+        &rows,
+    );
+    if cores < 4 {
+        println!(
+            "note: host exposes {cores} core(s); thread speedups are bounded by the hardware."
+        );
+    }
 }
 
 /// Figure 17: incremental PR and LP over many snapshots under the three

@@ -71,7 +71,10 @@ impl AccmLayout {
             .iter()
             .map(|a| ValueType::Prim(a.prim))
             .collect();
-        cols.extend(std::iter::repeat(ValueType::Prim(PrimType::Long)).take(self.accms.len()));
+        cols.extend(std::iter::repeat_n(
+            ValueType::Prim(PrimType::Long),
+            self.accms.len(),
+        ));
         for a in &self.accms {
             if matches!(a.op, AccmOp::Min | AccmOp::Max) {
                 cols.push(ValueType::Prim(PrimType::Long));
@@ -215,6 +218,30 @@ impl AccBuffer {
 
     pub fn add_global(&mut self, idx: usize, info: &AccmInfo, value: &Value, mult: i64) {
         self.globals[idx].add(info.op, info.prim, value, mult);
+    }
+
+    /// Merge another buffer into this one (the intra-partition parallel
+    /// path). Per key, `other` carries one pre-aggregated [`Contribution`]
+    /// whose internal fold/retraction order is the enumeration order of the
+    /// chunk that produced it; merging chunk buffers in chunk order
+    /// therefore concatenates per-key contribution sequences exactly as a
+    /// serial enumeration over the same item list would, so the merged
+    /// buffer is a pure function of the chunk decomposition — independent
+    /// of how many threads executed the chunks.
+    pub fn merge(&mut self, other: AccBuffer, accms: &[AccmInfo], globals: &[AccmInfo]) {
+        for (a, map) in other.vertex.into_iter().enumerate() {
+            let info = &accms[a];
+            for (v, c) in map {
+                self.vertex[a]
+                    .entry(v)
+                    .or_insert_with(|| Contribution::identity(info.op, info.prim))
+                    .merge(&c, info.op, info.prim);
+            }
+        }
+        for (g, c) in other.globals.into_iter().enumerate() {
+            let info = &globals[g];
+            self.globals[g].merge(&c, info.op, info.prim);
+        }
     }
 }
 
@@ -444,6 +471,70 @@ mod tests {
         let m = a.monoid.unwrap();
         assert_eq!(m.value, Value::Long(3));
         assert_eq!(m.count, 2);
+    }
+
+    #[test]
+    fn buffer_merge_matches_serial_accumulation() {
+        let accms = vec![
+            AccmInfo {
+                name: "s".into(),
+                prim: PrimType::Long,
+                op: AccmOp::Sum,
+            },
+            AccmInfo {
+                name: "m".into(),
+                prim: PrimType::Long,
+                op: AccmOp::Min,
+            },
+        ];
+        let globals = vec![AccmInfo {
+            name: "g".into(),
+            prim: PrimType::Long,
+            op: AccmOp::Sum,
+        }];
+        // Contributions for vertices 1, 2 split across two chunk buffers,
+        // including a monoid retraction carried raw.
+        let contribs: &[(usize, VertexId, i64, i64)] = &[
+            (0, 1, 7, 1),
+            (1, 1, 4, 1),
+            (0, 2, 3, 1),
+            (1, 1, 9, -1),
+            (0, 1, 2, 1),
+            (1, 2, 5, 1),
+        ];
+        let apply = |buf: &mut AccBuffer, slice: &[(usize, VertexId, i64, i64)]| {
+            for &(a, v, val, mult) in slice {
+                buf.add_vertex(a, &accms[a], v, &Value::Long(val), mult);
+                buf.add_global(0, &globals[0], &Value::Long(val), mult);
+            }
+        };
+        let mut serial = AccBuffer::new(&accms, &globals);
+        apply(&mut serial, contribs);
+        let mut chunk0 = AccBuffer::new(&accms, &globals);
+        apply(&mut chunk0, &contribs[..3]);
+        let mut chunk1 = AccBuffer::new(&accms, &globals);
+        apply(&mut chunk1, &contribs[3..]);
+        chunk0.merge(chunk1, &accms, &globals);
+
+        for a in 0..accms.len() {
+            let mut s: Vec<_> = serial.vertex[a].iter().collect();
+            let mut p: Vec<_> = chunk0.vertex[a].iter().collect();
+            s.sort_by_key(|(v, _)| **v);
+            p.sort_by_key(|(v, _)| **v);
+            assert_eq!(s.len(), p.len());
+            for ((sv, sc), (pv, pc)) in s.iter().zip(&p) {
+                assert_eq!(sv, pv);
+                assert_eq!(sc.folded, pc.folded);
+                assert_eq!(sc.count, pc.count);
+                assert_eq!(sc.retractions, pc.retractions);
+                assert_eq!(
+                    sc.monoid.as_ref().map(|m| (m.value.clone(), m.count)),
+                    pc.monoid.as_ref().map(|m| (m.value.clone(), m.count))
+                );
+            }
+        }
+        assert_eq!(serial.globals[0].folded, chunk0.globals[0].folded);
+        assert_eq!(serial.globals[0].count, chunk0.globals[0].count);
     }
 
     #[test]

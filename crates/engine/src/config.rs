@@ -64,6 +64,13 @@ pub struct EngineConfig {
     /// `false` the phases run sequentially — deterministic and easier to
     /// debug; metrics are identical either way.
     pub parallel: bool,
+    /// Intra-partition worker threads per machine for walk enumeration
+    /// (one-shot Traverse and Rule ⑦ ΔTraverse). Start-vertex lists are
+    /// split into chunks whose boundaries depend only on the list length,
+    /// and chunk buffers are merged in chunk order, so every value of this
+    /// knob produces byte-identical results — including `1`, which runs
+    /// the same chunked path inline.
+    pub threads_per_machine: usize,
 }
 
 impl Default for EngineConfig {
@@ -77,8 +84,20 @@ impl Default for EngineConfig {
             maintenance: MaintenancePolicy::CostBased,
             opts: OptFlags::default(),
             parallel: false,
+            threads_per_machine: default_threads_per_machine(),
         }
     }
+}
+
+/// Default intra-partition thread count: the `ITG_THREADS_PER_MACHINE`
+/// environment variable when set (CI runs the whole test suite at 4 this
+/// way), otherwise 1.
+fn default_threads_per_machine() -> usize {
+    std::env::var("ITG_THREADS_PER_MACHINE")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 impl EngineConfig {
@@ -88,6 +107,12 @@ impl EngineConfig {
             parallel: machines > 1,
             ..EngineConfig::default()
         }
+    }
+
+    /// Builder-style override of [`EngineConfig::threads_per_machine`].
+    pub fn with_threads(mut self, threads: usize) -> EngineConfig {
+        self.threads_per_machine = threads.max(1);
+        self
     }
 }
 
@@ -101,6 +126,12 @@ mod tests {
         assert!(c.opts.traversal_reorder && c.opts.neighbor_prune);
         assert!(c.opts.seek_window_share && c.opts.min_count);
         assert_eq!(c.machines, 1);
+    }
+
+    #[test]
+    fn with_threads_clamps_to_one() {
+        assert_eq!(EngineConfig::default().with_threads(0).threads_per_machine, 1);
+        assert_eq!(EngineConfig::default().with_threads(4).threads_per_machine, 4);
     }
 
     #[test]

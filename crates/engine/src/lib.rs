@@ -20,5 +20,5 @@ pub mod walker;
 
 pub use config::{EngineConfig, OptFlags};
 pub use graph::{ClusterGraph, GraphInput};
-pub use metrics::{RunKind, RunMetrics};
+pub use metrics::{ParallelMetrics, RunKind, RunMetrics};
 pub use session::{EngineError, Session};

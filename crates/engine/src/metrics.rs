@@ -12,6 +12,46 @@ pub enum RunKind {
     Incremental,
 }
 
+/// Intra-partition parallel execution counters, aggregated over every
+/// enumeration phase (one per machine per superstep) of a run.
+///
+/// The chunk decomposition — and therefore `phases` and `chunks` — depends
+/// only on the work-list sizes, so these two are identical for any
+/// `threads_per_machine` and belong in determinism assertions. The
+/// per-worker extrema describe how the *scheduler* happened to distribute
+/// chunks: with one thread the lone worker takes everything
+/// (`max == min == phase total`); with more threads they expose the
+/// imbalance between the busiest and idlest worker, and they legitimately
+/// vary with the thread count (though not run-to-run for `threads == 1`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParallelMetrics {
+    /// Enumeration phases executed (machine × superstep, plus recompute
+    /// passes).
+    pub phases: u64,
+    /// Work-list chunks executed across all phases.
+    pub chunks: u64,
+    /// Sum over phases of the busiest worker's item count.
+    pub max_worker_units: u64,
+    /// Sum over phases of the idlest worker's item count.
+    pub min_worker_units: u64,
+}
+
+impl ParallelMetrics {
+    /// Fold one phase's per-worker item counts in.
+    pub fn record_phase(&mut self, chunks: u64, per_worker_units: &[u64]) {
+        self.phases += 1;
+        self.chunks += chunks;
+        self.max_worker_units += per_worker_units.iter().copied().max().unwrap_or(0);
+        self.min_worker_units += per_worker_units.iter().copied().min().unwrap_or(0);
+    }
+
+    /// Busiest-minus-idlest worker load, summed over phases — the
+    /// imbalance proxy (0 when every phase ran on one worker).
+    pub fn imbalance(&self) -> u64 {
+        self.max_worker_units - self.min_worker_units
+    }
+}
+
 /// Metrics for one analytics run (one-shot or one incremental batch).
 #[derive(Debug, Clone)]
 pub struct RunMetrics {
@@ -25,6 +65,8 @@ pub struct RunMetrics {
     pub work_units: u64,
     /// Vertices whose accumulators required monoid recomputation.
     pub recomputed_vertices: u64,
+    /// Intra-partition parallel execution counters.
+    pub parallel: ParallelMetrics,
 }
 
 impl RunMetrics {
@@ -36,6 +78,7 @@ impl RunMetrics {
             io: IoSnapshot::default(),
             work_units: 0,
             recomputed_vertices: 0,
+            parallel: ParallelMetrics::default(),
         }
     }
 
@@ -47,7 +90,8 @@ impl RunMetrics {
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "{:?}: {:.3}s, {} supersteps, {} walks, disk r/w {}/{} B, net {} B, recomputed {}",
+            "{:?}: {:.3}s, {} supersteps, {} walks, disk r/w {}/{} B, net {} B, recomputed {}, \
+             {} chunks over {} phases (imbalance {})",
             self.kind,
             self.secs(),
             self.supersteps,
@@ -56,6 +100,9 @@ impl RunMetrics {
             self.io.disk_write_bytes,
             self.io.net_bytes,
             self.recomputed_vertices,
+            self.parallel.chunks,
+            self.parallel.phases,
+            self.parallel.imbalance(),
         )
     }
 }
@@ -70,5 +117,18 @@ mod tests {
         let s = m.summary();
         assert!(s.contains("OneShot"));
         assert!(s.contains("supersteps"));
+        assert!(s.contains("phases"));
+    }
+
+    #[test]
+    fn parallel_metrics_fold_extrema_per_phase() {
+        let mut p = ParallelMetrics::default();
+        p.record_phase(3, &[10, 4]);
+        p.record_phase(2, &[5]);
+        assert_eq!(p.phases, 2);
+        assert_eq!(p.chunks, 5);
+        assert_eq!(p.max_worker_units, 15);
+        assert_eq!(p.min_worker_units, 9);
+        assert_eq!(p.imbalance(), 6);
     }
 }

@@ -5,7 +5,7 @@
 use crate::accum::{apply_contribution, reset_state, AccBuffer, AccmLayout, ApplyOutcome, Contribution};
 use crate::config::EngineConfig;
 use crate::graph::{ClusterGraph, GraphInput};
-use crate::metrics::{RunKind, RunMetrics};
+use crate::metrics::{ParallelMetrics, RunKind, RunMetrics};
 use crate::msbfs::{backward_msbfs, PruningLevels};
 use crate::vexec::{execute, VertexCtx};
 use crate::walker::{HopBinding, Walker};
@@ -15,7 +15,16 @@ use itg_gsa::value::{ColumnData, Value};
 use itg_gsa::{FxHashMap, FxHashSet, VertexId};
 use itg_lnga::AccmInfo;
 use itg_store::{AttrStore, IoSnapshot, MutationBatch, View};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// Statistics of one intra-partition enumeration phase (one
+/// [`Session::parallel_enumerate`] call): how many chunks the work list
+/// split into and how many items each worker thread ended up executing.
+struct PhaseStats {
+    chunks: u64,
+    per_worker_units: Vec<u64>,
+}
 
 /// Per-machine state: the vertex store pair and the working arrays of the
 /// current run.
@@ -254,9 +263,14 @@ impl Session {
             }
 
             // Traverse phase.
-            let buffers: Vec<AccBuffer> = self.run_partition_phase(|sess, w| {
+            let outputs: Vec<(AccBuffer, PhaseStats)> = self.run_partition_phase(|sess, w| {
                 sess.oneshot_traverse(w, &actives[w])
             });
+            let mut buffers = Vec::with_capacity(outputs.len());
+            for (buf, stats) in outputs {
+                metrics.parallel.record_phase(stats.chunks, &stats.per_worker_units);
+                buffers.push(buf);
+            }
 
             // Exchange with partial pre-aggregation.
             let (inbox, global_contrib) = self.exchange(buffers);
@@ -270,8 +284,8 @@ impl Session {
                     globals_s[g] = info.op.combine(&globals_s[g], &m.value, info.prim);
                 }
             }
-            for w in 0..self.cfg.machines {
-                self.oneshot_apply_and_update(w, s, &inbox[w], &globals_s);
+            for (w, inbox_w) in inbox.iter().enumerate() {
+                self.oneshot_apply_and_update(w, s, inbox_w, &globals_s);
             }
             snapshot_globals.push(globals_s);
             s += 1;
@@ -298,34 +312,129 @@ impl Session {
     }
 
     /// Enumerate all one-shot walks for a worker's active vertices.
-    fn oneshot_traverse(&self, w: usize, actives: &[VertexId]) -> AccBuffer {
-        let mut buffer = AccBuffer::new(&self.program.symbols.accms, self.global_infos());
+    fn oneshot_traverse(&self, w: usize, actives: &[VertexId]) -> (AccBuffer, PhaseStats) {
         let symbols = &self.program.symbols;
         let part = &self.parts[w];
-        for chunk in actives.chunks(self.cfg.window_capacity.max(1)) {
-            for &v in chunk {
-                let local = self.graph.local_index(v);
-                for q in &self.program.traverse.queries {
-                    let bindings = vec![HopBinding::View(View::New); q.hops.len()];
-                    let allowed = vec![None; q.hops.len()];
-                    self.enumerate_query(
-                        w,
-                        q,
-                        v,
-                        1,
-                        &bindings,
-                        &allowed,
-                        &part.cur_attrs,
-                        local,
-                        View::New,
-                        symbols,
-                        &mut buffer,
-                        None,
-                    );
+        self.parallel_enumerate(actives, |&v, buffer| {
+            let local = self.graph.local_index(v);
+            for q in &self.program.traverse.queries {
+                let bindings = vec![HopBinding::View(View::New); q.hops.len()];
+                let allowed = vec![None; q.hops.len()];
+                self.enumerate_query(
+                    w,
+                    q,
+                    v,
+                    1,
+                    &bindings,
+                    &allowed,
+                    &part.cur_attrs,
+                    local,
+                    View::New,
+                    symbols,
+                    buffer,
+                    None,
+                );
+            }
+        })
+    }
+
+    /// Chunk length for intra-partition enumeration: a function of the
+    /// work-list length alone — never the thread count — so the chunk
+    /// decomposition, and with it the merged result, is identical for every
+    /// `threads_per_machine`. Small lists stay in one chunk; large lists
+    /// split into ~64 chunks for scheduling granularity, capped at the
+    /// window capacity to preserve enumeration locality.
+    fn par_chunk_size(&self, total: usize) -> usize {
+        let hi = self.cfg.window_capacity.max(16);
+        (total / 64).clamp(16, hi)
+    }
+
+    /// Run `run` over every item of a per-partition work list, chunked
+    /// across up to `threads_per_machine` worker threads, each accumulating
+    /// into a thread-local [`AccBuffer`].
+    ///
+    /// Determinism: chunk boundaries come from [`Session::par_chunk_size`]
+    /// (a function of `items.len()` only) and the chunk buffers merge in
+    /// chunk-index order, so the returned buffer is byte-identical for any
+    /// thread count — including 1, which executes the same chunks inline.
+    /// Workers claim chunks from a shared counter (dynamic scheduling), so
+    /// only the *scheduling* statistics in [`PhaseStats`] vary with the
+    /// thread count, never the buffer.
+    fn parallel_enumerate<T: Sync>(
+        &self,
+        items: &[T],
+        run: impl Fn(&T, &mut AccBuffer) + Sync,
+    ) -> (AccBuffer, PhaseStats) {
+        let accms = &self.program.symbols.accms;
+        let globals = self.global_infos();
+        if items.is_empty() {
+            return (
+                AccBuffer::new(accms, globals),
+                PhaseStats { chunks: 0, per_worker_units: vec![0] },
+            );
+        }
+        let chunk_len = self.par_chunk_size(items.len());
+        let chunks: Vec<&[T]> = items.chunks(chunk_len).collect();
+        let threads = self.cfg.threads_per_machine.max(1).min(chunks.len());
+        let mut slots: Vec<Option<AccBuffer>> = Vec::new();
+        let mut per_worker_units = vec![0u64; threads];
+        if threads <= 1 {
+            for chunk in &chunks {
+                let mut buf = AccBuffer::new(accms, globals);
+                for item in *chunk {
+                    run(item, &mut buf);
+                }
+                per_worker_units[0] += chunk.len() as u64;
+                slots.push(Some(buf));
+            }
+        } else {
+            slots.resize_with(chunks.len(), || None);
+            let next = AtomicUsize::new(0);
+            let results: Vec<(Vec<(usize, AccBuffer)>, u64)> =
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|_| {
+                            let next = &next;
+                            let chunks = &chunks;
+                            let run = &run;
+                            scope.spawn(move |_| {
+                                let mut produced: Vec<(usize, AccBuffer)> = Vec::new();
+                                let mut units = 0u64;
+                                loop {
+                                    let ci = next.fetch_add(1, Ordering::Relaxed);
+                                    if ci >= chunks.len() {
+                                        break;
+                                    }
+                                    let mut buf = AccBuffer::new(accms, globals);
+                                    for item in chunks[ci] {
+                                        run(item, &mut buf);
+                                    }
+                                    units += chunks[ci].len() as u64;
+                                    produced.push((ci, buf));
+                                }
+                                (produced, units)
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                })
+                .unwrap();
+            for (wi, (produced, units)) in results.into_iter().enumerate() {
+                per_worker_units[wi] = units;
+                for (ci, buf) in produced {
+                    slots[ci] = Some(buf);
                 }
             }
         }
-        buffer
+        let mut ordered = slots.into_iter().map(|s| s.expect("every chunk executed"));
+        let mut merged = ordered.next().expect("non-empty items produce chunks");
+        for buf in ordered {
+            merged.merge(buf, accms, globals);
+        }
+        (
+            merged,
+            PhaseStats { chunks: chunks.len() as u64, per_worker_units },
+        )
     }
 
     /// Run a query from one start vertex, feeding actions into `buffer`.
@@ -575,7 +684,7 @@ impl Session {
             ));
         }
         let t = self.snapshot();
-        if t < 1 || t <= self.superstep_counts.len() - 1 {
+        if t < 1 || t < self.superstep_counts.len() {
             return Err(EngineError::Unsupported(
                 "apply a mutation batch before running incrementally".into(),
             ));
@@ -664,8 +773,13 @@ impl Session {
             }
 
             // ΔTraverse.
-            let buffers: Vec<AccBuffer> =
+            let outputs: Vec<(AccBuffer, PhaseStats)> =
                 self.run_partition_phase(|sess, w| sess.delta_traverse(w, &pruning));
+            let mut buffers = Vec::with_capacity(outputs.len());
+            for (buf, stats) in outputs {
+                metrics.parallel.record_phase(stats.chunks, &stats.per_worker_units);
+                buffers.push(buf);
+            }
             let (inbox, global_contrib) = self.exchange(buffers);
 
             // Apply deltas onto accumulator state; collect recomputes.
@@ -703,9 +817,9 @@ impl Session {
             }
 
             // Record accumulator runs.
-            for w in 0..self.cfg.machines {
+            for (w, changed) in changed_accm.iter().enumerate() {
                 let layout_types = self.layout.column_types();
-                let mut rows: Vec<VertexId> = changed_accm[w].iter().copied().collect();
+                let mut rows: Vec<VertexId> = changed.iter().copied().collect();
                 rows.sort_unstable();
                 let part = &mut self.parts[w];
                 let (vids, cols) = rows_of(&self.graph, &layout_types, &part.cur_accm, &rows);
@@ -732,7 +846,7 @@ impl Session {
                 }
             }
             if needs_global_recompute {
-                globals_s = self.recompute_globals();
+                globals_s = self.recompute_globals(&mut metrics.parallel);
             }
             let globals_changed = globals_s != prev_globals;
 
@@ -786,9 +900,13 @@ impl Session {
     }
 
     /// ΔTraverse for one worker: all Rule ⑦ sub-queries, batched per start
-    /// vertex when seek/window sharing is enabled.
-    fn delta_traverse(&self, w: usize, pruning: &[Option<PruningLevels>]) -> AccBuffer {
-        let mut buffer = AccBuffer::new(&self.program.symbols.accms, self.global_infos());
+    /// vertex when seek/window sharing is enabled, chunked across the
+    /// intra-partition worker pool either way.
+    fn delta_traverse(
+        &self,
+        w: usize,
+        pruning: &[Option<PruningLevels>],
+    ) -> (AccBuffer, PhaseStats) {
         // Build per-sub-query start lists.
         let mut tasks: Vec<(usize, Vec<VertexId>)> = Vec::new();
         for (i, sq) in self.program.delta_traverse.iter().enumerate() {
@@ -800,7 +918,8 @@ impl Session {
         if self.cfg.opts.seek_window_share {
             // Interleave: iterate the union of starts in order, running
             // every relevant sub-query while the start's neighborhood is
-            // hot in the buffer pool.
+            // hot in the buffer pool. Chunking by start vertex keeps each
+            // start's sub-queries on one worker, preserving the sharing.
             let mut by_start: std::collections::BTreeMap<VertexId, Vec<usize>> =
                 std::collections::BTreeMap::new();
             for (i, starts) in &tasks {
@@ -808,19 +927,21 @@ impl Session {
                     by_start.entry(v).or_default().push(*i);
                 }
             }
-            for (v, sqs) in by_start {
-                for i in sqs {
-                    self.run_subquery(w, i, v, pruning[i].as_ref(), &mut buffer);
+            let items: Vec<(VertexId, Vec<usize>)> = by_start.into_iter().collect();
+            self.parallel_enumerate(&items, |(v, sqs), buffer| {
+                for &i in sqs {
+                    self.run_subquery(w, i, *v, pruning[i].as_ref(), buffer);
                 }
-            }
+            })
         } else {
-            for (i, starts) in tasks {
-                for v in starts {
-                    self.run_subquery(w, i, v, pruning[i].as_ref(), &mut buffer);
-                }
-            }
+            let items: Vec<(usize, VertexId)> = tasks
+                .into_iter()
+                .flat_map(|(i, starts)| starts.into_iter().map(move |v| (i, v)))
+                .collect();
+            self.parallel_enumerate(&items, |&(i, v), buffer| {
+                self.run_subquery(w, i, v, pruning[i].as_ref(), buffer);
+            })
         }
-        buffer
     }
 
     /// The start-vertex list of one sub-query on one worker.
@@ -1079,9 +1200,9 @@ impl Session {
             }
         }
         let (inbox, _globals) = self.exchange(buffers);
-        for w in 0..self.cfg.machines {
+        for (w, inbox_w) in inbox.iter().enumerate() {
             let part = &mut self.parts[w];
-            for (a, map) in inbox[w].iter().enumerate() {
+            for (a, map) in inbox_w.iter().enumerate() {
                 for (v, c) in map {
                     let l = self.graph.local_index(*v);
                     let out = apply_contribution(&layout, &mut part.cur_accm, l, a, c, true);
@@ -1091,7 +1212,7 @@ impl Session {
         }
         // Affected rows are changed (vs prev) unless they recomputed back
         // to the identical state; compare to be precise.
-        for (_a, set) in recompute.iter().enumerate() {
+        for set in recompute.iter() {
             for &v in set {
                 let w = self.graph.owner(v);
                 let l = self.graph.local_index(v);
@@ -1109,11 +1230,16 @@ impl Session {
 
     /// Recompute global accumulators by re-running the traverse for global
     /// actions only (the fallback for monoid globals under deletions).
-    fn recompute_globals(&self) -> Vec<Value> {
-        let buffers: Vec<AccBuffer> = self.run_partition_phase(|sess, w| {
+    fn recompute_globals(&self, par: &mut ParallelMetrics) -> Vec<Value> {
+        let outputs: Vec<(AccBuffer, PhaseStats)> = self.run_partition_phase(|sess, w| {
             let actives = sess.active_vertices(w);
             sess.oneshot_traverse(w, &actives)
         });
+        let mut buffers = Vec::with_capacity(outputs.len());
+        for (buf, stats) in outputs {
+            par.record_phase(stats.chunks, &stats.per_worker_units);
+            buffers.push(buf);
+        }
         let (_inbox, globals) = self.exchange(buffers);
         let mut out = self.identity_globals();
         for (g, c) in globals.iter().enumerate() {
@@ -1142,7 +1268,7 @@ impl Session {
         let attr_types: Vec<_> = self.program.symbols.attrs.iter().map(|a| a.ty).collect();
         let analysis = self.program.analysis;
         let mut result = Vec::with_capacity(self.cfg.machines);
-        for w in 0..self.cfg.machines {
+        for (w, changed_accm_w) in changed_accm.iter().enumerate() {
             // Advance prev to A_{t-1, s+1}.
             {
                 let part = &mut self.parts[w];
@@ -1153,7 +1279,7 @@ impl Session {
 
             // Trigger set.
             let mut trigger: FxHashSet<VertexId> = part.changed.clone();
-            trigger.extend(changed_accm[w].iter().copied());
+            trigger.extend(changed_accm_w.iter().copied());
             let touched = |cols: &[ColumnData], l: usize| layout.touched(cols, l);
             if globals_changed && analysis.update_reads_globals {
                 for (l, v) in self.graph.local_vertices(w).enumerate() {

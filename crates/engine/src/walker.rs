@@ -19,6 +19,10 @@ use itg_gsa::value::{ColumnData, Value};
 use itg_gsa::{FxHashSet, VertexId};
 use itg_store::View;
 
+/// Sink fired once per (action, complete walk):
+/// `(action_idx, walk, multiplicity, ctx)`.
+pub type WalkSink<'s> = dyn FnMut(usize, &[VertexId], i64, &WalkCtx<'_>) + 's;
+
 /// How one hop's edge stream is bound (Rule ⑦).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HopBinding {
@@ -95,7 +99,7 @@ impl Walker<'_> {
         &self,
         start: VertexId,
         start_mult: i64,
-        sink: &mut dyn FnMut(usize, &[VertexId], i64, &WalkCtx<'_>),
+        sink: &mut WalkSink<'_>,
     ) {
         debug_assert_eq!(self.bindings.len(), self.query.hops.len());
         let mut walk = Vec::with_capacity(self.query.hops.len() + 1);
@@ -133,7 +137,7 @@ impl Walker<'_> {
         walk: &mut Vec<VertexId>,
         mult: i64,
         hop: usize,
-        sink: &mut dyn FnMut(usize, &[VertexId], i64, &WalkCtx<'_>),
+        sink: &mut WalkSink<'_>,
     ) {
         let hops = &self.query.hops;
         if hop == hops.len() {
@@ -191,7 +195,7 @@ impl Walker<'_> {
                 let mut dsts: Vec<(VertexId, i64)> = Vec::new();
                 self.graph
                     .for_each_neighbor(self.worker, src, spec.dir, view, |d| {
-                        if allowed.map_or(true, |a| a.contains(&d)) {
+                        if allowed.is_none_or(|a| a.contains(&d)) {
                             dsts.push((d, 1));
                         }
                     });
@@ -201,7 +205,7 @@ impl Walker<'_> {
                 let mut dsts: Vec<(VertexId, i64)> = Vec::new();
                 self.graph
                     .for_each_delta_neighbor(self.worker, src, spec.dir, |d, m| {
-                        if allowed.map_or(true, |a| a.contains(&d)) {
+                        if allowed.is_none_or(|a| a.contains(&d)) {
                             dsts.push((d, m));
                         }
                     });
@@ -216,7 +220,7 @@ impl Walker<'_> {
         mult: i64,
         hop: usize,
         dsts: &[(VertexId, i64)],
-        sink: &mut dyn FnMut(usize, &[VertexId], i64, &WalkCtx<'_>),
+        sink: &mut WalkSink<'_>,
     ) {
         let constraint = &self.query.hops[hop].constraint;
         // Work accounting: every attempted extension is one enumeration

@@ -173,7 +173,7 @@ fn maintenance_policy_controls_store_read_growth() {
         for t in 0..rounds {
             // Alternate insert/delete of a single edge to create churn.
             let e = pool[t % pool.len()];
-            let m = if t % 2 == 0 {
+            let m = if t.is_multiple_of(2) {
                 EdgeMutation::insert(e.0, e.1)
             } else {
                 EdgeMutation::delete(e.0, e.1)

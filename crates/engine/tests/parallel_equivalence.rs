@@ -1,0 +1,264 @@
+//! Serial-equivalence harness for intra-partition parallelism: for every
+//! evaluation algorithm, running with `threads_per_machine` ∈ {1, 2, 4}
+//! must produce byte-identical user-visible state — attribute columns (the
+//! per-superstep images the accumulators fold into), global accumulator
+//! values, and superstep counts — over both the one-shot run and a
+//! multi-batch incremental sequence. `threads_per_machine = 1` executes
+//! the same chunked code path inline, so it *is* the serial baseline.
+//!
+//! A companion determinism regression runs the same parallel workload
+//! twice and demands exact equality of the deterministic metrics
+//! (`work_units`, `recomputed_vertices`, chunk/phase counts) alongside the
+//! outputs.
+
+use itg_algorithms::programs;
+use itg_engine::{EngineConfig, GraphInput, RunMetrics, Session};
+use itg_gsa::{Value, VertexId};
+use itg_store::{EdgeMutation, MutationBatch};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const N: u64 = 48;
+
+fn cfg(machines: usize, threads: usize) -> EngineConfig {
+    EngineConfig {
+        machines,
+        parallel: machines > 1,
+        ..EngineConfig::default()
+    }
+    .with_threads(threads)
+}
+
+/// Random undirected base graph plus mutation batches (insert/delete mix),
+/// as in the equivalence suite but sized so per-partition work lists split
+/// into several chunks.
+fn random_workload(
+    seed: u64,
+    base_edges: usize,
+    batches: usize,
+    batch_size: usize,
+) -> (Vec<(VertexId, VertexId)>, Vec<MutationBatch>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut all: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    while all.len() < base_edges + batches * batch_size {
+        let a = rng.gen_range(0..N);
+        let b = rng.gen_range(0..N);
+        if a != b && seen.insert((a.min(b), a.max(b))) {
+            all.push((a.min(b), a.max(b)));
+        }
+    }
+    let base: Vec<_> = all[..base_edges].to_vec();
+    let mut pool: Vec<_> = all[base_edges..].to_vec();
+    let mut alive = base.clone();
+    let mut out = Vec::new();
+    for _ in 0..batches {
+        let mut muts = Vec::new();
+        for _ in 0..batch_size {
+            if rng.gen_bool(0.7) || alive.len() < 4 {
+                if let Some(e) = pool.pop() {
+                    muts.push(EdgeMutation::insert(e.0, e.1));
+                    alive.push(e);
+                }
+            } else {
+                let i = rng.gen_range(0..alive.len());
+                let e = alive.swap_remove(i);
+                muts.push(EdgeMutation::delete(e.0, e.1));
+            }
+        }
+        out.push(MutationBatch::new(muts));
+    }
+    (base, out)
+}
+
+/// Everything a run exposes that must be invariant under the thread count.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    columns: Vec<(String, Vec<Value>)>,
+    globals: Vec<(String, Value)>,
+    supersteps: Vec<usize>,
+    work_units: Vec<u64>,
+    recomputed: Vec<u64>,
+    /// Chunk decomposition counters — these depend only on work-list
+    /// sizes, so they too must match across thread counts.
+    chunks: Vec<u64>,
+    phases: Vec<u64>,
+}
+
+fn observe(
+    name: &str,
+    machines: usize,
+    threads: usize,
+    base: &[(VertexId, VertexId)],
+    batches: &[MutationBatch],
+) -> Observed {
+    let src = programs::source(name).unwrap();
+    let mut input = if programs::is_undirected(name) {
+        GraphInput::undirected(base.to_vec())
+    } else {
+        GraphInput::directed(base.to_vec())
+    };
+    input.num_vertices = N as usize;
+    let mut config = cfg(machines, threads);
+    if matches!(name, "pr" | "lp") {
+        config.max_supersteps = 10;
+    }
+    let mut sess = Session::from_source(&src, &input, config).unwrap();
+    let mut runs: Vec<RunMetrics> = vec![sess.run_oneshot()];
+    for b in batches {
+        sess.apply_mutations(b);
+        runs.push(sess.run_incremental());
+    }
+    let columns = attr_names(name)
+        .into_iter()
+        .map(|a| (a.to_string(), sess.attr_column(a).unwrap()))
+        .collect();
+    let globals = global_names(name)
+        .into_iter()
+        .map(|g| (g.to_string(), sess.global_value(g, None).unwrap()))
+        .collect();
+    Observed {
+        columns,
+        globals,
+        supersteps: sess.superstep_counts().to_vec(),
+        work_units: runs.iter().map(|r| r.work_units).collect(),
+        recomputed: runs.iter().map(|r| r.recomputed_vertices).collect(),
+        chunks: runs.iter().map(|r| r.parallel.chunks).collect(),
+        phases: runs.iter().map(|r| r.parallel.phases).collect(),
+    }
+}
+
+fn attr_names(name: &str) -> Vec<&'static str> {
+    match name {
+        "pr" => vec!["rank"],
+        "lp" => vec!["label"],
+        "wcc" => vec!["comp"],
+        "bfs" => vec!["dist"],
+        "tc" => vec![],
+        "lcc" => vec!["lcc"],
+        _ => unreachable!(),
+    }
+}
+
+fn global_names(name: &str) -> Vec<&'static str> {
+    match name {
+        "tc" => vec!["cnts"],
+        _ => vec![],
+    }
+}
+
+/// Threads ∈ {1, 2, 4} produce identical observations for `name`.
+fn check_thread_invariance(name: &str, machines: usize, seed: u64) {
+    let (base, batches) = random_workload(seed, 110, 3, 10);
+    let serial = observe(name, machines, 1, &base, &batches);
+    for threads in [2, 4] {
+        let parallel = observe(name, machines, threads, &base, &batches);
+        assert_eq!(
+            serial, parallel,
+            "{name}: threads_per_machine={threads} diverged from serial \
+             (machines {machines}, seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn pagerank_parallel_equals_serial() {
+    check_thread_invariance("pr", 1, 101);
+    check_thread_invariance("pr", 3, 102);
+}
+
+#[test]
+fn sssp_style_bfs_parallel_equals_serial() {
+    check_thread_invariance("bfs", 1, 201);
+    check_thread_invariance("bfs", 2, 202);
+}
+
+#[test]
+fn wcc_parallel_equals_serial() {
+    check_thread_invariance("wcc", 1, 301);
+    check_thread_invariance("wcc", 3, 302);
+}
+
+#[test]
+fn triangle_count_parallel_equals_serial() {
+    check_thread_invariance("tc", 1, 401);
+    check_thread_invariance("tc", 2, 402);
+}
+
+#[test]
+fn lcc_parallel_equals_serial() {
+    check_thread_invariance("lcc", 1, 501);
+    check_thread_invariance("lcc", 2, 502);
+}
+
+#[test]
+fn label_prop_parallel_equals_serial() {
+    check_thread_invariance("lp", 1, 601);
+    check_thread_invariance("lp", 2, 602);
+}
+
+/// Optimization flags and intra-partition threading compose: the full
+/// ablation grid at 4 threads matches the serial default configuration.
+#[test]
+fn optimization_flags_compose_with_threading() {
+    use itg_engine::OptFlags;
+    let (base, batches) = random_workload(707, 90, 2, 8);
+    let mut results = Vec::new();
+    for (opts, threads) in [
+        (OptFlags::default(), 1),
+        (OptFlags::default(), 4),
+        (OptFlags::none(), 4),
+        (
+            OptFlags {
+                seek_window_share: true,
+                ..OptFlags::none()
+            },
+            4,
+        ),
+    ] {
+        let mut config = cfg(2, threads);
+        config.opts = opts;
+        let mut input = GraphInput::undirected(base.clone());
+        input.num_vertices = N as usize;
+        let mut s = Session::from_source(programs::TRIANGLE_COUNT, &input, config).unwrap();
+        s.run_oneshot();
+        for b in &batches {
+            s.apply_mutations(b);
+            s.run_incremental();
+        }
+        results.push(s.global_value("cnts", None).unwrap());
+    }
+    assert!(
+        results.windows(2).all(|w| w[0] == w[1]),
+        "flag/thread combinations disagreed: {results:?}"
+    );
+}
+
+/// The invariance checks are only meaningful if phases actually split into
+/// multiple chunks (otherwise "parallel" degenerates to serial trivially).
+/// PageRank keeps every vertex active for all 10 supersteps, so on one
+/// machine every phase must split the 48-vertex work list.
+#[test]
+fn workload_exercises_multi_chunk_phases() {
+    let (base, batches) = random_workload(909, 110, 2, 10);
+    let obs = observe("pr", 1, 4, &base, &batches);
+    assert!(
+        obs.chunks[0] > obs.phases[0],
+        "one-shot phases did not split into chunks: chunks {:?}, phases {:?}",
+        obs.chunks,
+        obs.phases,
+    );
+}
+
+/// Determinism regression: the same parallel incremental workload executed
+/// twice from the same seed yields exactly the same outputs and the same
+/// deterministic metrics.
+#[test]
+fn parallel_run_is_deterministic_run_to_run() {
+    for name in ["wcc", "tc", "bfs"] {
+        let (base, batches) = random_workload(808, 110, 3, 10);
+        let first = observe(name, 2, 4, &base, &batches);
+        let second = observe(name, 2, 4, &base, &batches);
+        assert_eq!(first, second, "{name}: repeated parallel run diverged");
+    }
+}

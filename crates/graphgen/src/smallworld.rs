@@ -11,7 +11,7 @@ use rand::{Rng, SeedableRng};
 /// (`k` even), with each edge rewired with probability `beta`.
 /// Returns mirrored directed edges.
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Vec<(VertexId, VertexId)> {
-    assert!(k % 2 == 0 && k < n, "k must be even and < n");
+    assert!(k.is_multiple_of(2) && k < n, "k must be even and < n");
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut seen: itg_gsa::FxHashSet<(VertexId, VertexId)> = itg_gsa::FxHashSet::default();
     let add = |a: VertexId, b: VertexId, seen: &mut itg_gsa::FxHashSet<(VertexId, VertexId)>| {

@@ -41,7 +41,7 @@ impl MaintenancePolicy {
         match self {
             MaintenancePolicy::NoMerge => false,
             MaintenancePolicy::Periodic(period) => {
-                *period > 0 && chain.snapshot > 0 && chain.snapshot % period == 0
+                *period > 0 && chain.snapshot > 0 && chain.snapshot.is_multiple_of(*period)
             }
             MaintenancePolicy::CostBased => {
                 chain.distinct_vertices < chain.weighted_run_reads

@@ -1,0 +1,294 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion 0.5 API this workspace's
+//! `harness = false` benchmarks use, with a deliberately simple
+//! measurement loop: a short warm-up, then timed iterations until a small
+//! time budget (or iteration cap) is reached, reporting min/mean. There is
+//! no statistical analysis, HTML report, or baseline comparison — the
+//! numbers print to stdout, which is all the repo's bench harness records.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-iteration batching mode (API compatibility; the stand-in times each
+/// batch individually regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Prevent the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing engine handed to benchmark closures.
+pub struct Bencher {
+    /// Target measurement budget per benchmark.
+    budget: Duration,
+    /// Iteration cap (keeps huge per-iteration benchmarks bounded).
+    max_iters: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(budget: Duration, max_iters: u64) -> Bencher {
+        Bencher {
+            budget,
+            max_iters,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Time `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up (not recorded).
+        black_box(routine());
+        let started = Instant::now();
+        while (self.samples.len() as u64) < self.max_iters
+            && (self.samples.is_empty() || started.elapsed() < self.budget)
+        {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Time `routine` over inputs built by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let started = Instant::now();
+        while (self.samples.len() as u64) < self.max_iters
+            && (self.samples.is_empty() || started.elapsed() < self.budget)
+        {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// `iter_batched` variant taking the input by reference.
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut first = setup();
+        black_box(routine(&mut first));
+        let started = Instant::now();
+        while (self.samples.len() as u64) < self.max_iters
+            && (self.samples.is_empty() || started.elapsed() < self.budget)
+        {
+            let mut input = setup();
+            let t = Instant::now();
+            black_box(routine(&mut input));
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().unwrap();
+        println!(
+            "{name:<50} time: [min {min:>12?}  mean {mean:>12?}]  ({} samples)",
+            self.samples.len()
+        );
+    }
+}
+
+fn run_one(name: &str, budget: Duration, max_iters: u64, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher::new(budget, max_iters);
+    f(&mut b);
+    b.report(name);
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    max_iters: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// In real criterion this sets the statistical sample count; here it
+    /// bounds the iteration cap proportionally.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.max_iters = n as u64;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = d;
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.id),
+            self.budget,
+            self.max_iters,
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.id),
+            self.budget,
+            self.max_iters,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+    max_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            budget: Duration::from_millis(300),
+            max_iters: 50,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group: {name}");
+        BenchmarkGroup {
+            name,
+            budget: self.budget,
+            max_iters: self.max_iters,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&id.id, self.budget, self.max_iters, f);
+        self
+    }
+}
+
+/// Define a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher::new(Duration::from_millis(5), 10);
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            n
+        });
+        assert!(!b.samples.is_empty());
+        assert!(b.samples.len() as u64 <= 10);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3)
+            .bench_function(BenchmarkId::new("f", 1), |b| b.iter(|| 2 + 2))
+            .bench_with_input(BenchmarkId::new("g", 2), &5, |b, &x| {
+                b.iter_batched(|| x, |v| v * 2, BatchSize::LargeInput)
+            });
+        g.finish();
+    }
+}

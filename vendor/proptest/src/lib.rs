@@ -1,0 +1,133 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no route to the crates.io registry, so the
+//! workspace vendors the subset of the proptest 1.x API its test suites
+//! actually use: the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! [`strategy::Strategy`] with `prop_map`, integer-range / tuple / `any`
+//! strategies, [`collection::vec`] and [`collection::btree_set`], and the
+//! `prop_assert*` macros.
+//!
+//! Differences from crates.io proptest, deliberately accepted:
+//! - **No shrinking.** A failing case prints its seed, case index, and the
+//!   full generated input; re-running with `PROPTEST_SEED=<seed>` replays
+//!   the identical sequence.
+//! - **`*.proptest-regressions` files are not replayed** (their `cc` lines
+//!   encode upstream's internal RNG stream). They remain in-tree as
+//!   documentation of historical failures.
+//! - Generation is deterministic per (test name, case index) by default, so
+//!   CI runs are reproducible without any persisted state.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a property test. Maps onto `assert!` — the runner catches
+/// the panic and reports the generated input before re-raising.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The `proptest!` block: a sequence of test functions whose arguments are
+/// drawn from strategies. Supports the leading
+/// `#![proptest_config(expr)]` attribute of the real macro.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr);) => {};
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::test_runner::run(
+                &config,
+                concat!(module_path!(), "::", stringify!($name)),
+                &($($strat,)+),
+                |($($pat,)+)| $body,
+            );
+        }
+        $crate::__proptest_items!(($config); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 0u32..16, b in -100i64..100) {
+            prop_assert!(a < 16);
+            prop_assert!((-100..100).contains(&b));
+        }
+
+        #[test]
+        fn vec_sizes_respect_bounds(v in crate::collection::vec(0u8..10, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn btree_set_is_deduped(s in crate::collection::btree_set((0u64..4, 0u64..4), 0..10)) {
+            prop_assert!(s.len() <= 10);
+        }
+
+        #[test]
+        fn prop_map_applies(x in (0u64..100).prop_map(|v| v * 2)) {
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn any_bool_and_u64_generate((b, x) in (any::<bool>(), any::<u64>())) {
+            // Smoke check that the tuple strategy produces well-typed
+            // values for both element strategies.
+            prop_assert!(u64::from(b) <= 1);
+            prop_assert!(x.count_ones() <= 64);
+        }
+    }
+
+    #[test]
+    fn determinism_same_name_same_values() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0u64..1000, 1..20);
+        let mut rng1 = crate::test_runner::TestRng::new(99);
+        let mut rng2 = crate::test_runner::TestRng::new(99);
+        assert_eq!(strat.generate(&mut rng1), strat.generate(&mut rng2));
+    }
+}

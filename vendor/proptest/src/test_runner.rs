@@ -1,0 +1,110 @@
+//! The case runner: deterministic per-test seeding, input reporting on
+//! failure, seed override via `PROPTEST_SEED`.
+
+use crate::strategy::Strategy;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Runner configuration (subset of crates.io proptest's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The generation RNG: xoshiro256** seeded via SplitMix64.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *slot = z ^ (z >> 31);
+        }
+        if s == [0, 0, 0, 0] {
+            s[0] = 1;
+        }
+        TestRng { s }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// FNV-1a, used to give each test its own deterministic stream.
+fn hash_name(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run `test` against `config.cases` inputs generated from `strategy`.
+///
+/// The base seed is `PROPTEST_SEED` when set (decimal or 0x-hex), otherwise
+/// a fixed default — either way each test name gets its own stream, and a
+/// failure report carries everything needed to replay it.
+pub fn run<S: Strategy>(
+    config: &ProptestConfig,
+    name: &str,
+    strategy: &S,
+    test: impl Fn(S::Value),
+) {
+    let base_seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| {
+            let s = s.trim();
+            if let Some(hex) = s.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16).ok()
+            } else {
+                s.parse().ok()
+            }
+        })
+        .unwrap_or(0x1735_0A8C_39B6_72D1);
+    let stream = base_seed ^ hash_name(name);
+    for case in 0..config.cases {
+        let mut rng = TestRng::new(stream.wrapping_add((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let input = strategy.generate(&mut rng);
+        let rendered = format!("{input:?}");
+        if let Err(panic) = catch_unwind(AssertUnwindSafe(|| test(input))) {
+            eprintln!(
+                "proptest stand-in: `{name}` failed at case {case}/{} \
+                 (base seed {base_seed:#x}; rerun with PROPTEST_SEED={base_seed}).\n\
+                 input: {rendered}",
+                config.cases
+            );
+            resume_unwind(panic);
+        }
+    }
+}
