@@ -180,6 +180,41 @@ fn bench_baseline_arrangement(c: &mut Criterion) {
     });
 }
 
+/// Observability overhead: the same one-shot PageRank with the recorder
+/// disabled (the default — every handle a single-branch no-op) vs enabled
+/// (span clocks + relaxed atomic adds). The acceptance bound for this PR is
+/// `enabled/disabled < 1.02` on the disabled side, i.e. a disabled recorder
+/// must cost nothing measurable; the enabled rows document the cost of
+/// turning profiling on.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(20);
+    for (label, enabled) in [("disabled", false), ("enabled", true)] {
+        let ds = Dataset::rmat_directed("b", 12, 42);
+        group.bench_with_input(BenchmarkId::new("pr_oneshot", label), &ds, |b, ds| {
+            b.iter(|| {
+                let cfg = EngineConfig {
+                    max_supersteps: 10,
+                    obs: if enabled {
+                        itg_obs::Recorder::enabled()
+                    } else {
+                        itg_obs::Recorder::disabled()
+                    },
+                    ..EngineConfig::default()
+                };
+                let mut s = Session::from_source(
+                    iturbograph::algorithms::PAGERANK,
+                    &ds.graph_input(),
+                    cfg,
+                )
+                .unwrap();
+                s.run_oneshot().supersteps
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_graphgen(c: &mut Criterion) {
     c.bench_function("rmat_generate_2e14", |b| {
         b.iter(|| generate(&RmatConfig::paper_scale(14, 9)).len());
@@ -195,6 +230,7 @@ criterion_group!(
     bench_compiler,
     bench_accumulate,
     bench_baseline_arrangement,
+    bench_obs_overhead,
     bench_graphgen,
 );
 criterion_main!(benches);

@@ -4,18 +4,29 @@
 //!
 //! ```text
 //! cargo run --release -p itg-bench --bin expt -- <table6|fig12|fig13|fig14|
-//!     fig15a|fig15b|fig16a|fig16b|fig17|scaling|all>
+//!     fig15a|fig15b|fig16a|fig16b|fig17|scaling|profile|all> [--profile FILE]
 //! ```
 //!
 //! `scaling` is not a paper artifact: it measures intra-partition thread
 //! scaling (`threads_per_machine` ∈ {1, 2, 4}) on a skewed RMAT graph.
+//!
+//! `profile [algo]` is the observability entry point: it runs one algorithm
+//! (default `pr`) one-shot plus incremental batches under an enabled
+//! recorder and prints the per-operator cost breakdown (span tree, Δ-stream
+//! counters, IO histograms). The global `--profile FILE` flag composes with
+//! any subcommand: it enables the process-wide recorder up front and writes
+//! the accumulated profile as JSON (schema v1) to `FILE` on exit.
 
 use itg_baselines::{DdIterative, DdTriangles, GraphBolt, MemoryBudget, ValueRule};
 use itg_bench::*;
 use iturbograph::prelude::*;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let profile_out = take_flag_value(&mut args, "--profile");
+    if profile_out.is_some() && !itg_obs::init_global(true) {
+        eprintln!("warning: global recorder already initialized; --profile may be partial");
+    }
     let which = args.first().map(|s| s.as_str()).unwrap_or("all");
     match which {
         "table6" => table6(),
@@ -28,6 +39,7 @@ fn main() {
         "fig16b" => fig16b(),
         "fig17" => fig17(),
         "scaling" => scaling(),
+        "profile" => profile(args.get(1).map(|s| s.as_str()).unwrap_or("pr")),
         "all" => {
             table6();
             fig12();
@@ -45,6 +57,86 @@ fn main() {
             std::process::exit(2);
         }
     }
+    if let Some(path) = profile_out {
+        let json = itg_obs::global().profile().to_json();
+        match std::fs::write(&path, &json) {
+            Ok(()) => eprintln!("profile written to {path}"),
+            Err(e) => {
+                eprintln!("failed to write profile to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Remove `--flag VALUE` from `args`, returning `VALUE` when present.
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
+
+/// `expt profile [algo]`: per-operator cost breakdown of one algorithm on a
+/// mid-size RMAT graph — one-shot run, then `BATCHES` incremental batches,
+/// each section rendered from the run's own interval profile so operator
+/// timings can be checked against `RunMetrics::wall`.
+fn profile(algo: &str) {
+    let Some(src) = iturbograph::algorithms::source(algo) else {
+        eprintln!("unknown algorithm `{algo}` (try pr|lp|wcc|bfs|tc|lcc)");
+        std::process::exit(2);
+    };
+    let mut ds = if algo == "pr" {
+        Dataset::rmat_directed("RMAT_14", 14, 61)
+    } else {
+        Dataset::rmat_undirected("RMAT_14", 14, 61)
+    };
+    let mut cfg = single_machine_cfg(algo);
+    // Record into the process-wide recorder when `--profile` enabled it
+    // (so the JSON dump sees this run), else into a private one.
+    cfg.obs = if itg_obs::global().is_enabled() {
+        itg_obs::global().clone()
+    } else {
+        itg_obs::Recorder::enabled()
+    };
+    let mut session = Session::from_source(&src, &ds.graph_input(), cfg).unwrap();
+    let labels = session.operator_labels();
+
+    let one = session.run_oneshot();
+    println!("=== {} one-shot: {} ===", algo.to_uppercase(), one.summary());
+    let p = one.profile.as_ref().expect("recorder enabled");
+    print!("{}", itg_obs::render_breakdown(p, one.wall.as_nanos() as u64, &labels));
+
+    let mut merged: Option<itg_obs::Profile> = None;
+    let mut inc_wall_ns = 0u64;
+    let mut last_summary = String::new();
+    for _ in 0..BATCHES {
+        let batch = ds.next_batch(BATCH_SIZE, RATIO);
+        session.apply_mutations(&batch);
+        let m = session.run_incremental();
+        inc_wall_ns += m.wall.as_nanos() as u64;
+        last_summary = m.summary();
+        let mp = m.profile.expect("recorder enabled");
+        merged = Some(match merged {
+            None => mp,
+            Some(mut acc) => {
+                acc.merge(&mp);
+                acc
+            }
+        });
+    }
+    println!();
+    println!(
+        "=== {} incremental ({BATCHES} batches of {BATCH_SIZE}, last: {}) ===",
+        algo.to_uppercase(),
+        last_summary
+    );
+    let p = merged.expect("at least one batch");
+    print!("{}", itg_obs::render_breakdown(&p, inc_wall_ns, &labels));
 }
 
 const BATCHES: usize = 4;

@@ -74,6 +74,7 @@ pub fn build_delta_subqueries(plan: &TraversePlan) -> Vec<DeltaSubQuery> {
                 q.path_to(q.hops[d - 1].source)
             };
             out.push(DeltaSubQuery {
+                op_id: 0,
                 query: qi,
                 delta_stream: d,
                 pruning_path,
@@ -112,6 +113,7 @@ mod tests {
     fn pr_like_plan() -> TraversePlan {
         TraversePlan {
             queries: vec![WalkQuery {
+                op_id: 0,
                 start_filter: None,
                 hops: vec![HopSpec {
                     source: 0,

@@ -37,7 +37,7 @@ pub fn compile(checked: &CheckedProgram) -> Result<CompiledProgram, LngaError> {
         .max()
         .unwrap_or(0);
     let analysis = analyze(&init, &traverse, &update, checked);
-    Ok(CompiledProgram {
+    let mut program = CompiledProgram {
         symbols: checked.symbols.clone(),
         init,
         update,
@@ -48,7 +48,9 @@ pub fn compile(checked: &CheckedProgram) -> Result<CompiledProgram, LngaError> {
         incremental_safe,
         max_hops,
         analysis,
-    })
+    };
+    program.assign_operator_ids();
+    Ok(program)
 }
 
 fn analyze(
@@ -342,6 +344,22 @@ mod tests {
         // The If appears after the For, so it survives as the action's
         // residual condition (or was folded into the hop constraint).
         assert!(q.actions[0].cond.is_some() || q.hops[0].constraint.is_some());
+    }
+
+    #[test]
+    fn operator_ids_are_stable_and_labeled() {
+        let p = compile_source(PR).unwrap();
+        assert_eq!(p.traverse.queries[0].op_id, 1);
+        // ΔQ0 sub-queries: (0+1)*16 + stream.
+        assert_eq!(p.delta_traverse[0].op_id, 16);
+        assert_eq!(p.delta_traverse[1].op_id, 17);
+        let labels = p.operator_labels();
+        assert!(labels.contains(&(1, "Q0 ω (1 hops)".to_string())));
+        assert!(labels.contains(&(16, "ΔQ0 ω(Δvs)".to_string())));
+        assert!(labels.contains(&(17, "ΔQ0 ω(Δes1)".to_string())));
+        // Recompiling the same source yields identical ids.
+        let p2 = compile_source(PR).unwrap();
+        assert_eq!(p.operator_labels(), p2.operator_labels());
     }
 
     #[test]

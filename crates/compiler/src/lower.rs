@@ -267,6 +267,7 @@ impl TraverseLowerer<'_> {
             }
         }
         self.queries.push(WalkQuery {
+            op_id: 0,
             start_filter,
             hops: self.hops.clone(),
             actions: vec![action],

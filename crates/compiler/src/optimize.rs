@@ -95,6 +95,7 @@ mod tests {
         // 3 hops, last constrained u3 == u0 (TC's `u4 == u1`).
         let mut plan = TraversePlan {
             queries: vec![WalkQuery {
+                op_id: 0,
                 start_filter: None,
                 hops: vec![hop(None), hop(None), hop(Some(vertex_eq(3, 0)))],
                 actions: vec![],
@@ -114,6 +115,7 @@ mod tests {
         );
         let mut plan = TraversePlan {
             queries: vec![WalkQuery {
+                op_id: 0,
                 start_filter: None,
                 hops: vec![hop(None), hop(Some(c))],
                 actions: vec![],
@@ -129,6 +131,7 @@ mod tests {
         let c = Expr::bin(BinOp::Lt, Expr::WalkVertex(1), Expr::WalkVertex(2));
         let mut plan = TraversePlan {
             queries: vec![WalkQuery {
+                op_id: 0,
                 start_filter: None,
                 hops: vec![hop(None), hop(Some(c))],
                 actions: vec![],

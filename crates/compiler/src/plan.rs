@@ -50,6 +50,10 @@ pub struct WalkAction {
 /// One walk query of Traverse: a chain/tree path of hops with actions.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WalkQuery {
+    /// Stable operator id for observability (see
+    /// [`CompiledProgram::operator_labels`]); `0` means unassigned (plans
+    /// built outside [`crate::compile`], e.g. in unit tests).
+    pub op_id: u32,
     /// Start-vertex filter beyond `active = true` (If conditions at depth 0
     /// referencing only u1).
     pub start_filter: Option<Expr>,
@@ -96,6 +100,9 @@ impl WalkQuery {
 /// delta bound to one stream.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DeltaSubQuery {
+    /// Stable operator id for observability (see
+    /// [`CompiledProgram::operator_labels`]); `0` means unassigned.
+    pub op_id: u32,
     /// Index into `TraversePlan::queries`.
     pub query: usize,
     /// Which stream carries the delta: 0 = the vertex stream (attribute /
@@ -202,6 +209,40 @@ pub struct CompiledProgram {
 }
 
 impl CompiledProgram {
+    /// Deterministic operator-id assignment for observability: one-shot
+    /// walk query `i` gets id `i + 1`; Rule ⑦ sub-query `(q, j)` gets
+    /// `(q + 1) · 16 + j` (a walk has well under 16 streams). Ids are
+    /// stable across compilations of the same program, so profiles can be
+    /// compared run to run and joined back to the algebra plan.
+    pub fn assign_operator_ids(&mut self) {
+        for (i, q) in self.traverse.queries.iter_mut().enumerate() {
+            q.op_id = i as u32 + 1;
+        }
+        for sq in &mut self.delta_traverse {
+            sq.op_id = (sq.query as u32 + 1) * 16 + sq.delta_stream as u32;
+        }
+    }
+
+    /// Human-readable labels for every assigned operator id, used by
+    /// `expt profile` to join span/counter measurements back to the plan:
+    /// `Q0 ω (2 hops)` for one-shot walk queries, `ΔQ0 ω(Δvs)` /
+    /// `ΔQ0 ω(Δes1)` for Rule ⑦ delta sub-queries.
+    pub fn operator_labels(&self) -> Vec<(u32, String)> {
+        let mut labels = Vec::new();
+        for (i, q) in self.traverse.queries.iter().enumerate() {
+            labels.push((q.op_id, format!("Q{i} ω ({} hops)", q.num_hops())));
+        }
+        for sq in &self.delta_traverse {
+            let stream = if sq.delta_stream == 0 {
+                "Δvs".to_string()
+            } else {
+                format!("Δes{}", sq.delta_stream)
+            };
+            labels.push((sq.op_id, format!("ΔQ{} ω({stream})", sq.query)));
+        }
+        labels
+    }
+
     /// In Update-context expressions, accumulator `i` is addressed as
     /// attribute index `symbols.attrs.len() + i`. The engine's Update
     /// evaluation context resolves indexes past the non-accm columns into

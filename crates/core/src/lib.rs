@@ -49,6 +49,7 @@ pub use itg_engine as engine;
 pub use itg_graphgen as graphgen;
 pub use itg_gsa as gsa;
 pub use itg_lnga as lnga;
+pub use itg_obs as obs;
 pub use itg_store as store;
 
 /// The paper's six evaluation algorithms as ready-to-compile `L_NGA`

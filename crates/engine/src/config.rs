@@ -71,6 +71,18 @@ pub struct EngineConfig {
     /// knob produces byte-identical results — including `1`, which runs
     /// the same chunked path inline.
     pub threads_per_machine: usize,
+    /// Observability recorder threaded through the session, its stores,
+    /// and its walkers. Defaults to a clone of [`itg_obs::global`] — a
+    /// no-op unless the `ITG_PROFILE` environment variable enables it (or
+    /// `itg_obs::init_global` ran first). Override with
+    /// [`itg_obs::Recorder::enabled`] to profile one session in isolation:
+    ///
+    /// ```
+    /// let mut cfg = itg_engine::EngineConfig::default();
+    /// cfg.obs = itg_obs::Recorder::enabled();
+    /// assert!(cfg.obs.is_enabled());
+    /// ```
+    pub obs: itg_obs::Recorder,
 }
 
 impl Default for EngineConfig {
@@ -85,6 +97,7 @@ impl Default for EngineConfig {
             opts: OptFlags::default(),
             parallel: false,
             threads_per_machine: default_threads_per_machine(),
+            obs: itg_obs::global().clone(),
         }
     }
 }

@@ -72,12 +72,27 @@ pub struct ClusterGraph {
 }
 
 impl ClusterGraph {
-    /// Load a graph across `machines` partitions.
+    /// Load a graph across `machines` partitions, with IO accounted
+    /// against the process-global observability recorder (a no-op unless
+    /// `ITG_PROFILE` enabled it — see [`itg_obs::global`]).
     pub fn load(
         input: &GraphInput,
         machines: usize,
         pool_bytes: u64,
         page_size: u64,
+    ) -> ClusterGraph {
+        Self::load_with_obs(input, machines, pool_bytes, page_size, itg_obs::global())
+    }
+
+    /// Load a graph across `machines` partitions, feeding each partition's
+    /// IO counters into `obs`'s `store/*` histograms (the
+    /// [`crate::EngineConfig::obs`] path).
+    pub fn load_with_obs(
+        input: &GraphInput,
+        machines: usize,
+        pool_bytes: u64,
+        page_size: u64,
+        obs: &itg_obs::Recorder,
     ) -> ClusterGraph {
         assert!(machines >= 1);
         let mut edges: Vec<(VertexId, VertexId)> = input.edges.clone();
@@ -90,7 +105,7 @@ impl ClusterGraph {
         let n = input.num_vertices;
         let mut partitions = Vec::with_capacity(machines);
         for w in 0..machines {
-            let stats = IoStats::new();
+            let stats = IoStats::with_obs(obs);
             let pool = Arc::new(BufferPool::new(pool_bytes, page_size, stats.clone()));
             let n_local = Self::local_count(n, w, machines);
             let local_out: Vec<(VertexId, VertexId)> = edges

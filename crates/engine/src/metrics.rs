@@ -23,7 +23,12 @@ pub enum RunKind {
 /// (`max == min == phase total`); with more threads they expose the
 /// imbalance between the busiest and idlest worker, and they legitimately
 /// vary with the thread count (though not run-to-run for `threads == 1`).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Equality deliberately ignores [`ParallelMetrics::timing`]: wall-clock
+/// timings are non-deterministic by nature and must not participate in the
+/// engine's determinism assertions (the `parallel_equivalence` test
+/// compares these metrics across thread counts).
+#[derive(Debug, Clone, Default)]
 pub struct ParallelMetrics {
     /// Enumeration phases executed (machine × superstep, plus recompute
     /// passes).
@@ -34,15 +39,47 @@ pub struct ParallelMetrics {
     pub max_worker_units: u64,
     /// Sum over phases of the idlest worker's item count.
     pub min_worker_units: u64,
+    /// Per-worker wall-clock aggregates; populated only when the session's
+    /// observability recorder is enabled (all zero otherwise), and excluded
+    /// from `PartialEq`.
+    pub timing: PhaseTimings,
 }
 
+/// Per-worker wall-clock aggregates of the intra-partition enumeration
+/// phases — the timing companion to the deterministic item counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Sum over phases of the busiest worker's nanoseconds.
+    pub max_worker_ns: u64,
+    /// Sum over phases of the idlest worker's nanoseconds.
+    pub min_worker_ns: u64,
+    /// Total worker nanoseconds across all phases and workers.
+    pub total_worker_ns: u64,
+}
+
+impl PartialEq for ParallelMetrics {
+    fn eq(&self, other: &ParallelMetrics) -> bool {
+        // `timing` intentionally omitted — see the type-level docs.
+        self.phases == other.phases
+            && self.chunks == other.chunks
+            && self.max_worker_units == other.max_worker_units
+            && self.min_worker_units == other.min_worker_units
+    }
+}
+
+impl Eq for ParallelMetrics {}
+
 impl ParallelMetrics {
-    /// Fold one phase's per-worker item counts in.
-    pub fn record_phase(&mut self, chunks: u64, per_worker_units: &[u64]) {
+    /// Fold one phase's per-worker item counts (and, when timed,
+    /// per-worker nanoseconds — pass `&[]` when timing is disabled) in.
+    pub fn record_phase(&mut self, chunks: u64, per_worker_units: &[u64], per_worker_ns: &[u64]) {
         self.phases += 1;
         self.chunks += chunks;
         self.max_worker_units += per_worker_units.iter().copied().max().unwrap_or(0);
         self.min_worker_units += per_worker_units.iter().copied().min().unwrap_or(0);
+        self.timing.max_worker_ns += per_worker_ns.iter().copied().max().unwrap_or(0);
+        self.timing.min_worker_ns += per_worker_ns.iter().copied().min().unwrap_or(0);
+        self.timing.total_worker_ns += per_worker_ns.iter().sum::<u64>();
     }
 
     /// Busiest-minus-idlest worker load, summed over phases — the
@@ -53,6 +90,28 @@ impl ParallelMetrics {
 }
 
 /// Metrics for one analytics run (one-shot or one incremental batch).
+///
+/// When the session's observability recorder is enabled (`ITG_PROFILE=1`
+/// or an explicit `EngineConfig::obs`), [`RunMetrics::profile`] carries the
+/// hierarchical span/counter/histogram profile of exactly this run:
+///
+/// ```
+/// use itg_engine::{EngineConfig, GraphInput, Session};
+///
+/// let mut cfg = EngineConfig::default();
+/// cfg.obs = itg_obs::Recorder::enabled();
+/// let g = GraphInput::undirected(vec![(0, 1), (1, 2)]);
+/// let src = "
+///     Vertex (id, active, nbrs, c: Accm<long, SUM>)
+///     Initialize (u): { u.active = true; }
+///     Traverse (u): { For v in u.nbrs { v.c.Accumulate(1); } }
+///     Update (u): { }
+/// ";
+/// let mut sess = Session::from_source(src, &g, cfg).unwrap();
+/// let m = sess.run_oneshot();
+/// let profile = m.profile.expect("recorder enabled");
+/// assert!(profile.span_total_ns("run/traverse") > 0);
+/// ```
 #[derive(Debug, Clone)]
 pub struct RunMetrics {
     pub kind: RunKind,
@@ -67,6 +126,9 @@ pub struct RunMetrics {
     pub recomputed_vertices: u64,
     /// Intra-partition parallel execution counters.
     pub parallel: ParallelMetrics,
+    /// Interval profile of this run (spans, Δ-stream counters, IO
+    /// histograms); `None` when the session's recorder is disabled.
+    pub profile: Option<itg_obs::Profile>,
 }
 
 impl RunMetrics {
@@ -79,6 +141,7 @@ impl RunMetrics {
             work_units: 0,
             recomputed_vertices: 0,
             parallel: ParallelMetrics::default(),
+            profile: None,
         }
     }
 
@@ -123,12 +186,24 @@ mod tests {
     #[test]
     fn parallel_metrics_fold_extrema_per_phase() {
         let mut p = ParallelMetrics::default();
-        p.record_phase(3, &[10, 4]);
-        p.record_phase(2, &[5]);
+        p.record_phase(3, &[10, 4], &[]);
+        p.record_phase(2, &[5], &[]);
         assert_eq!(p.phases, 2);
         assert_eq!(p.chunks, 5);
         assert_eq!(p.max_worker_units, 15);
         assert_eq!(p.min_worker_units, 9);
         assert_eq!(p.imbalance(), 6);
+    }
+
+    #[test]
+    fn equality_ignores_wall_clock_timing() {
+        let mut a = ParallelMetrics::default();
+        let mut b = ParallelMetrics::default();
+        a.record_phase(1, &[7], &[1_000]);
+        b.record_phase(1, &[7], &[9_999]);
+        assert_eq!(a, b, "timing must not break determinism comparisons");
+        assert_ne!(a.timing, b.timing);
+        b.record_phase(1, &[7], &[]);
+        assert_ne!(a, b);
     }
 }

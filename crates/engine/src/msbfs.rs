@@ -87,6 +87,7 @@ mod tests {
 
     fn chain_query(k: usize) -> WalkQuery {
         WalkQuery {
+            op_id: 0,
             start_filter: None,
             hops: (0..k)
                 .map(|i| HopSpec {

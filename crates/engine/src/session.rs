@@ -8,7 +8,7 @@ use crate::graph::{ClusterGraph, GraphInput};
 use crate::metrics::{ParallelMetrics, RunKind, RunMetrics};
 use crate::msbfs::{backward_msbfs, PruningLevels};
 use crate::vexec::{execute, VertexCtx};
-use crate::walker::{HopBinding, Walker};
+use crate::walker::{HopBinding, WalkSpans, Walker};
 use itg_compiler::{ActionTarget, CompiledProgram, DeltaSubQuery, WalkQuery};
 use itg_gsa::expr::eval;
 use itg_gsa::value::{ColumnData, Value};
@@ -24,6 +24,79 @@ use std::time::Instant;
 struct PhaseStats {
     chunks: u64,
     per_worker_units: Vec<u64>,
+    /// Per-worker wall nanoseconds; all zero when the session's recorder
+    /// is disabled (the clock is never read).
+    per_worker_ns: Vec<u64>,
+}
+
+/// Cached per-operator instruments for one walk query or Rule ⑦ delta
+/// sub-query: the seek/join/action spans plus the tuple-cardinality
+/// counters joined to the plan by its stable `op_id`.
+struct QueryObs {
+    spans: WalkSpans,
+    starts: itg_obs::CounterHandle,
+    contribs: itg_obs::CounterHandle,
+}
+
+/// Every instrument the session records into, resolved once at
+/// [`Session::new`] so the hot paths never touch the recorder's interning
+/// locks. With a disabled recorder each handle is a single-branch no-op
+/// and `enabled` gates the few explicit clock reads.
+struct SessionObs {
+    enabled: bool,
+    setup: itg_obs::SpanHandle,
+    pruning: itg_obs::SpanHandle,
+    schedule: itg_obs::SpanHandle,
+    traverse: itg_obs::SpanHandle,
+    exchange: itg_obs::SpanHandle,
+    accumulate: itg_obs::SpanHandle,
+    recompute: itg_obs::SpanHandle,
+    globals: itg_obs::SpanHandle,
+    update: itg_obs::SpanHandle,
+    store_advance: itg_obs::SpanHandle,
+    recompute_triggers: itg_obs::CounterHandle,
+    /// Per one-shot walk query, index-aligned with `traverse.queries`.
+    oneshot: Vec<QueryObs>,
+    /// Per delta sub-query, index-aligned with `delta_traverse`.
+    delta: Vec<QueryObs>,
+}
+
+impl SessionObs {
+    fn new(rec: &itg_obs::Recorder, program: &CompiledProgram) -> SessionObs {
+        SessionObs {
+            enabled: rec.is_enabled(),
+            setup: rec.span("run/setup"),
+            pruning: rec.span("run/pruning"),
+            schedule: rec.span("run/schedule"),
+            traverse: rec.span("run/traverse"),
+            exchange: rec.span("run/exchange"),
+            accumulate: rec.span("run/accumulate"),
+            recompute: rec.span("run/recompute"),
+            globals: rec.span("run/globals"),
+            update: rec.span("run/update"),
+            store_advance: rec.span("run/store_advance"),
+            recompute_triggers: rec.counter("delta/recompute_triggers"),
+            oneshot: program
+                .traverse
+                .queries
+                .iter()
+                .map(|q| QueryObs {
+                    spans: WalkSpans::resolve(rec, q.op_id),
+                    starts: rec.counter_op("oneshot/starts", q.op_id),
+                    contribs: rec.counter_op("oneshot/contribs", q.op_id),
+                })
+                .collect(),
+            delta: program
+                .delta_traverse
+                .iter()
+                .map(|sq| QueryObs {
+                    spans: WalkSpans::resolve(rec, sq.op_id),
+                    starts: rec.counter_op("delta/starts", sq.op_id),
+                    contribs: rec.counter_op("delta/contribs", sq.op_id),
+                })
+                .collect(),
+        }
+    }
 }
 
 /// Per-machine state: the vertex store pair and the working arrays of the
@@ -82,6 +155,7 @@ pub struct Session {
     /// Supersteps executed per snapshot.
     superstep_counts: Vec<usize>,
     ran_oneshot: bool,
+    obs: SessionObs,
 }
 
 impl Session {
@@ -116,7 +190,14 @@ impl Session {
                     .into(),
             ));
         }
-        let graph = ClusterGraph::load(input, cfg.machines, cfg.buffer_pool_bytes, cfg.page_size);
+        let graph = ClusterGraph::load_with_obs(
+            input,
+            cfg.machines,
+            cfg.buffer_pool_bytes,
+            cfg.page_size,
+            &cfg.obs,
+        );
+        let obs = SessionObs::new(&cfg.obs, &program);
         let layout = AccmLayout::new(&program.symbols.accms);
         let attr_types: Vec<_> = program.symbols.attrs.iter().map(|a| a.ty).collect();
         let accm_types = layout.column_types();
@@ -153,6 +234,7 @@ impl Session {
             globals_history: Vec::new(),
             superstep_counts: Vec::new(),
             ran_oneshot: false,
+            obs,
         })
     }
 
@@ -229,8 +311,11 @@ impl Session {
         let t0 = Instant::now();
         let io0 = self.graph.total_io();
         let mut metrics = RunMetrics::new(RunKind::OneShot);
+        let prof0 = self.obs.enabled.then(|| self.cfg.obs.profile());
 
         // Initialize.
+        let setup_span = self.obs.setup.clone();
+        let setup_g = setup_span.start();
         let n_attr_types: Vec<_> = self.program.symbols.attrs.iter().map(|a| a.ty).collect();
         for w in 0..self.cfg.machines {
             let n_local = self.parts[w].n_local;
@@ -249,13 +334,17 @@ impl Session {
             self.parts[w].cur_attrs = cols;
             self.parts[w].cur_accm = self.layout.identity_columns(n_local);
         }
+        drop(setup_g);
 
         let mut snapshot_globals: Vec<Vec<Value>> = Vec::new();
         let mut s = 0usize;
         loop {
+            let sched_span = self.obs.schedule.clone();
+            let sched_g = sched_span.start();
             let actives: Vec<Vec<VertexId>> = (0..self.cfg.machines)
                 .map(|w| self.active_vertices(w))
                 .collect();
+            drop(sched_g);
             let total_active: usize = actives.iter().map(|a| a.len()).sum();
             metrics.work_units += total_active as u64;
             if total_active == 0 || s >= self.cfg.max_supersteps {
@@ -263,19 +352,27 @@ impl Session {
             }
 
             // Traverse phase.
+            let trav_span = self.obs.traverse.clone();
+            let trav_g = trav_span.start();
             let outputs: Vec<(AccBuffer, PhaseStats)> = self.run_partition_phase(|sess, w| {
                 sess.oneshot_traverse(w, &actives[w])
             });
             let mut buffers = Vec::with_capacity(outputs.len());
             for (buf, stats) in outputs {
-                metrics.parallel.record_phase(stats.chunks, &stats.per_worker_units);
+                metrics.parallel.record_phase(stats.chunks, &stats.per_worker_units, &stats.per_worker_ns);
                 buffers.push(buf);
             }
+            drop(trav_g);
 
             // Exchange with partial pre-aggregation.
+            let exch_span = self.obs.exchange.clone();
+            let exch_g = exch_span.start();
             let (inbox, global_contrib) = self.exchange(buffers);
+            drop(exch_g);
 
             // Accumulate + record + Update.
+            let upd_span = self.obs.update.clone();
+            let upd_g = upd_span.start();
             let mut globals_s = self.identity_globals();
             for (g, c) in global_contrib.iter().enumerate() {
                 let info = &self.global_infos()[g];
@@ -287,6 +384,7 @@ impl Session {
             for (w, inbox_w) in inbox.iter().enumerate() {
                 self.oneshot_apply_and_update(w, s, inbox_w, &globals_s);
             }
+            drop(upd_g);
             snapshot_globals.push(globals_s);
             s += 1;
         }
@@ -297,7 +395,15 @@ impl Session {
         metrics.supersteps = s;
         metrics.io = self.graph.total_io().since(&io0);
         metrics.wall = t0.elapsed();
+        metrics.profile = prof0.map(|p0| self.cfg.obs.profile().since(&p0));
         metrics
+    }
+
+    /// Stable operator labels of the compiled plan — `(op_id, label)`
+    /// pairs for joining profile rows ([`itg_obs::SpanStat::op`],
+    /// [`itg_obs::CounterStat::op`]) to human-readable operator names.
+    pub fn operator_labels(&self) -> Vec<(u32, String)> {
+        self.program.operator_labels()
     }
 
     fn active_vertices(&self, w: usize) -> Vec<VertexId> {
@@ -315,9 +421,14 @@ impl Session {
     fn oneshot_traverse(&self, w: usize, actives: &[VertexId]) -> (AccBuffer, PhaseStats) {
         let symbols = &self.program.symbols;
         let part = &self.parts[w];
+        if self.obs.enabled {
+            for qo in &self.obs.oneshot {
+                qo.starts.add(actives.len() as u64);
+            }
+        }
         self.parallel_enumerate(actives, |&v, buffer| {
             let local = self.graph.local_index(v);
-            for q in &self.program.traverse.queries {
+            for (qi, q) in self.program.traverse.queries.iter().enumerate() {
                 let bindings = vec![HopBinding::View(View::New); q.hops.len()];
                 let allowed = vec![None; q.hops.len()];
                 self.enumerate_query(
@@ -333,6 +444,7 @@ impl Session {
                     symbols,
                     buffer,
                     None,
+                    Some(&self.obs.oneshot[qi]),
                 );
             }
         })
@@ -370,7 +482,11 @@ impl Session {
         if items.is_empty() {
             return (
                 AccBuffer::new(accms, globals),
-                PhaseStats { chunks: 0, per_worker_units: vec![0] },
+                PhaseStats {
+                    chunks: 0,
+                    per_worker_units: vec![0],
+                    per_worker_ns: vec![0],
+                },
             );
         }
         let chunk_len = self.par_chunk_size(items.len());
@@ -378,7 +494,10 @@ impl Session {
         let threads = self.cfg.threads_per_machine.max(1).min(chunks.len());
         let mut slots: Vec<Option<AccBuffer>> = Vec::new();
         let mut per_worker_units = vec![0u64; threads];
+        let mut per_worker_ns = vec![0u64; threads];
+        let timed = self.obs.enabled;
         if threads <= 1 {
+            let t0 = timed.then(Instant::now);
             for chunk in &chunks {
                 let mut buf = AccBuffer::new(accms, globals);
                 for item in *chunk {
@@ -387,10 +506,15 @@ impl Session {
                 per_worker_units[0] += chunk.len() as u64;
                 slots.push(Some(buf));
             }
+            if let Some(t0) = t0 {
+                per_worker_ns[0] = t0.elapsed().as_nanos() as u64;
+            }
         } else {
             slots.resize_with(chunks.len(), || None);
             let next = AtomicUsize::new(0);
-            let results: Vec<(Vec<(usize, AccBuffer)>, u64)> =
+            // (chunk-indexed buffers, items processed, worker ns)
+            type WorkerResult = (Vec<(usize, AccBuffer)>, u64, u64);
+            let results: Vec<WorkerResult> =
                 crossbeam::thread::scope(|scope| {
                     let handles: Vec<_> = (0..threads)
                         .map(|_| {
@@ -398,6 +522,7 @@ impl Session {
                             let chunks = &chunks;
                             let run = &run;
                             scope.spawn(move |_| {
+                                let t0 = timed.then(Instant::now);
                                 let mut produced: Vec<(usize, AccBuffer)> = Vec::new();
                                 let mut units = 0u64;
                                 loop {
@@ -412,15 +537,17 @@ impl Session {
                                     units += chunks[ci].len() as u64;
                                     produced.push((ci, buf));
                                 }
-                                (produced, units)
+                                let ns = t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+                                (produced, units, ns)
                             })
                         })
                         .collect();
                     handles.into_iter().map(|h| h.join().unwrap()).collect()
                 })
                 .unwrap();
-            for (wi, (produced, units)) in results.into_iter().enumerate() {
+            for (wi, (produced, units, ns)) in results.into_iter().enumerate() {
                 per_worker_units[wi] = units;
+                per_worker_ns[wi] = ns;
                 for (ci, buf) in produced {
                     slots[ci] = Some(buf);
                 }
@@ -433,7 +560,11 @@ impl Session {
         }
         (
             merged,
-            PhaseStats { chunks: chunks.len() as u64, per_worker_units },
+            PhaseStats {
+                chunks: chunks.len() as u64,
+                per_worker_units,
+                per_worker_ns,
+            },
         )
     }
 
@@ -455,6 +586,7 @@ impl Session {
         symbols: &itg_lnga::Symbols,
         buffer: &mut AccBuffer,
         target_filter: Option<(usize, &FxHashSet<VertexId>)>,
+        qobs: Option<&QueryObs>,
     ) {
         // Start filter (beyond `active`).
         if let Some(f) = &q.start_filter {
@@ -480,7 +612,9 @@ impl Session {
             local,
             deg_view,
             use_intersection: true,
+            obs: qobs.map(|o| &o.spans),
         };
+        let mut contribs = 0u64;
         walker.enumerate(start, start_mult, &mut |ai, walk, mult, ctx| {
             let action = &q.actions[ai];
             let value = eval(&action.value, ctx).expect("action value evaluation");
@@ -492,15 +626,22 @@ impl Session {
                         }
                     }
                     buffer.add_vertex(*accm, &symbols.accms[*accm], walk[*pos], &value, mult);
+                    contribs += 1;
                 }
                 ActionTarget::Global(g) => {
                     if target_filter.is_some() {
                         return;
                     }
                     buffer.add_global(*g, &symbols.globals[*g], &value, mult);
+                    contribs += 1;
                 }
             }
         });
+        if let Some(o) = qobs {
+            if contribs > 0 {
+                o.contribs.add(contribs);
+            }
+        }
     }
 
     /// Route contributions to their owners (partial pre-aggregation has
@@ -714,9 +855,12 @@ impl Session {
         let t0 = Instant::now();
         let io0 = self.graph.total_io();
         let mut metrics = RunMetrics::new(RunKind::Incremental);
+        let prof0 = self.obs.enabled.then(|| self.cfg.obs.profile());
         let prev_k = self.superstep_counts[t - 1];
 
         // Setup: prev = A_{t-1,0}; cur = prev + Initialize for new vertices.
+        let setup_span = self.obs.setup.clone();
+        let setup_g = setup_span.start();
         let attr_types: Vec<_> = self.program.symbols.attrs.iter().map(|a| a.ty).collect();
         let n_old = self.graph.num_vertices_old();
         for w in 0..self.cfg.machines {
@@ -745,10 +889,14 @@ impl Session {
             part.prev_attrs = prev;
             part.cur_attrs = cur;
         }
+        drop(setup_g);
 
         // Precompute the pruning levels for the edge-delta sub-queries
         // (the delta edges are fixed for the whole snapshot).
+        let prune_span = self.obs.pruning.clone();
+        let prune_g = prune_span.start();
         let pruning = self.compute_pruning();
+        drop(prune_g);
 
         let mut snapshot_globals: Vec<Vec<Value>> = Vec::new();
         let mut s = 0usize;
@@ -764,6 +912,8 @@ impl Session {
             }
 
             // Advance accumulator prev/cur arrays to superstep s.
+            let adv_span = self.obs.store_advance.clone();
+            let adv_g = adv_span.start();
             for w in 0..self.cfg.machines {
                 let part = &mut self.parts[w];
                 let mut prev = self.layout.identity_columns(part.n_local);
@@ -771,18 +921,27 @@ impl Session {
                 part.cur_accm = prev.clone();
                 part.prev_accm = prev;
             }
+            drop(adv_g);
 
             // ΔTraverse.
+            let trav_span = self.obs.traverse.clone();
+            let trav_g = trav_span.start();
             let outputs: Vec<(AccBuffer, PhaseStats)> =
                 self.run_partition_phase(|sess, w| sess.delta_traverse(w, &pruning));
             let mut buffers = Vec::with_capacity(outputs.len());
             for (buf, stats) in outputs {
-                metrics.parallel.record_phase(stats.chunks, &stats.per_worker_units);
+                metrics.parallel.record_phase(stats.chunks, &stats.per_worker_units, &stats.per_worker_ns);
                 buffers.push(buf);
             }
+            drop(trav_g);
+            let exch_span = self.obs.exchange.clone();
+            let exch_g = exch_span.start();
             let (inbox, global_contrib) = self.exchange(buffers);
+            drop(exch_g);
 
             // Apply deltas onto accumulator state; collect recomputes.
+            let accm_span = self.obs.accumulate.clone();
+            let accm_g = accm_span.start();
             let mut recompute: Vec<FxHashSet<VertexId>> =
                 (0..self.layout.num_accms()).map(|_| FxHashSet::default()).collect();
             let mut changed_accm: Vec<FxHashSet<VertexId>> =
@@ -808,15 +967,23 @@ impl Session {
                 }
             }
 
+            drop(accm_g);
+
             // Monoid recomputation (paper §5.4): reset and re-derive the
             // affected accumulators from a pruned one-shot enumeration.
             let n_recompute: usize = recompute.iter().map(|r| r.len()).sum();
             if n_recompute > 0 {
                 metrics.recomputed_vertices += n_recompute as u64;
+                self.obs.recompute_triggers.add(n_recompute as u64);
+                let rec_span = self.obs.recompute.clone();
+                let rec_g = rec_span.start();
                 self.recompute_accumulators(&recompute, &mut changed_accm);
+                drop(rec_g);
             }
 
             // Record accumulator runs.
+            let accm_span = self.obs.accumulate.clone();
+            let accm_g = accm_span.start();
             for (w, changed) in changed_accm.iter().enumerate() {
                 let layout_types = self.layout.column_types();
                 let mut rows: Vec<VertexId> = changed.iter().copied().collect();
@@ -827,8 +994,11 @@ impl Session {
                     part.accm_store.record_run(t, s, vids, cols);
                 }
             }
+            drop(accm_g);
 
             // Globals: fold the delta into the previous snapshot's value.
+            let glob_span = self.obs.globals.clone();
+            let glob_g = glob_span.start();
             let prev_globals: Vec<Value> = self
                 .globals_history
                 .get(t - 1)
@@ -849,19 +1019,26 @@ impl Session {
                 globals_s = self.recompute_globals(&mut metrics.parallel);
             }
             let globals_changed = globals_s != prev_globals;
+            drop(glob_g);
 
             // ΔUpdate.
+            let upd_span = self.obs.update.clone();
+            let upd_g = upd_span.start();
             let changed_next =
                 self.delta_update(t, s, prev_k, &changed_accm, &globals_s, globals_changed);
             snapshot_globals.push(globals_s);
             for (w, set) in changed_next.into_iter().enumerate() {
                 self.parts[w].changed = set;
             }
+            drop(upd_g);
 
             s += 1;
+            let sched_span = self.obs.schedule.clone();
+            let sched_g = sched_span.start();
             let active: usize = (0..self.cfg.machines)
                 .map(|w| self.active_vertices(w).len())
                 .sum();
+            drop(sched_g);
             if (s >= prev_k && active == 0) || s >= self.cfg.max_supersteps {
                 break;
             }
@@ -872,6 +1049,7 @@ impl Session {
         metrics.supersteps = s;
         metrics.io = self.graph.total_io().since(&io0);
         metrics.wall = t0.elapsed();
+        metrics.profile = prof0.map(|p0| self.cfg.obs.profile().since(&p0));
         Ok(metrics)
     }
 
@@ -911,6 +1089,9 @@ impl Session {
         let mut tasks: Vec<(usize, Vec<VertexId>)> = Vec::new();
         for (i, sq) in self.program.delta_traverse.iter().enumerate() {
             let starts = self.subquery_starts(w, sq, pruning[i].as_ref());
+            if self.obs.enabled {
+                self.obs.delta[i].starts.add(starts.len() as u64);
+            }
             if !starts.is_empty() {
                 tasks.push((i, starts));
             }
@@ -1059,7 +1240,9 @@ impl Session {
                     local,
                     deg_view: View::New,
                     use_intersection: true,
+                    obs: Some(&self.obs.delta[sq_idx].spans),
                 };
+                let mut contribs = 0u64;
                 walker.enumerate(start, 1, &mut |ai, walk, mult, new_ctx| {
                     let action = &q.actions[ai];
                     // Action conds are image-independent here (gated by
@@ -1087,19 +1270,25 @@ impl Session {
                     };
                     emit(&old_val, -mult);
                     emit(&new_val, mult);
+                    contribs += 2;
                 });
+                if contribs > 0 {
+                    self.obs.delta[sq_idx].contribs.add(contribs);
+                }
                 return;
             }
             if old_ok {
                 self.enumerate_query(
                     w, q, start, -1, &bindings, &allowed, &part.prev_attrs, local,
                     View::Old, symbols, buffer, None,
+                    Some(&self.obs.delta[sq_idx]),
                 );
             }
             if new_ok {
                 self.enumerate_query(
                     w, q, start, 1, &bindings, &allowed, &part.cur_attrs, local,
                     View::New, symbols, buffer, None,
+                    Some(&self.obs.delta[sq_idx]),
                 );
             }
         } else {
@@ -1127,6 +1316,7 @@ impl Session {
             self.enumerate_query(
                 w, q, start, 1, &bindings, &allowed, &part.cur_attrs, local, View::New,
                 symbols, buffer, None,
+                Some(&self.obs.delta[sq_idx]),
             );
         }
     }
@@ -1193,6 +1383,7 @@ impl Session {
                             &self.program.symbols,
                             &mut buf,
                             Some((a, v_aff)),
+                            None,
                         );
                         buffers[w] = buf;
                     }
@@ -1237,7 +1428,7 @@ impl Session {
         });
         let mut buffers = Vec::with_capacity(outputs.len());
         for (buf, stats) in outputs {
-            par.record_phase(stats.chunks, &stats.per_worker_units);
+            par.record_phase(stats.chunks, &stats.per_worker_units, &stats.per_worker_ns);
             buffers.push(buf);
         }
         let (_inbox, globals) = self.exchange(buffers);

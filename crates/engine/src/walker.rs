@@ -32,6 +32,37 @@ pub enum HopBinding {
     Delta,
 }
 
+/// Resolved span timers for the phases of walk enumeration, keyed by the
+/// plan operator executing them: Window-Seek (adjacency streaming through
+/// the buffer pool), Window-Join (constraint checks / membership probes
+/// extending partial walks), and action firing on complete walks.
+///
+/// Handles resolved from a disabled recorder are free; enabled handles add
+/// two relaxed atomic adds per recorded interval, with the clock read
+/// amortized per seek batch / join batch rather than per edge.
+#[derive(Clone, Debug, Default)]
+pub struct WalkSpans {
+    pub seek: itg_obs::SpanHandle,
+    pub join: itg_obs::SpanHandle,
+    pub action: itg_obs::SpanHandle,
+}
+
+impl WalkSpans {
+    /// Resolve the three phase spans for plan operator `op`.
+    pub fn resolve(rec: &itg_obs::Recorder, op: itg_obs::OpId) -> WalkSpans {
+        WalkSpans {
+            seek: rec.span_op("run/traverse/seek", op),
+            join: rec.span_op("run/traverse/join", op),
+            action: rec.span_op("run/traverse/action", op),
+        }
+    }
+
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.seek.is_enabled()
+    }
+}
+
 /// Evaluation context over a (partial) walk. Vertex attributes are
 /// readable at position 0 only — the compiler enforces this for
 /// incremental plans and the six evaluation algorithms satisfy it
@@ -89,6 +120,10 @@ pub struct Walker<'a> {
     pub deg_view: View,
     /// Whether to use the membership-check closing optimization.
     pub use_intersection: bool,
+    /// Span timers for the seek/join/action phases, keyed by the plan
+    /// operator driving this enumeration; `None` (and handles from a
+    /// disabled recorder) cost one branch per batch.
+    pub obs: Option<&'a WalkSpans>,
 }
 
 impl Walker<'_> {
@@ -141,6 +176,7 @@ impl Walker<'_> {
     ) {
         let hops = &self.query.hops;
         if hop == hops.len() {
+            let _action_guard = self.obs.map(|o| o.action.start());
             let ctx = self.ctx(walk);
             for (ai, action) in self.query.actions.iter().enumerate() {
                 let fire = match &action.cond {
@@ -159,13 +195,17 @@ impl Walker<'_> {
         let src = walk[spec.source];
         let is_last = hop + 1 == hops.len();
 
-        // Multi-way intersection: close the walk by membership test.
+        // Multi-way intersection: close the walk by membership test — a
+        // W-Join probe without any seek.
         if is_last && self.use_intersection {
             if let Some(close_pos) = self.query.closes_to {
                 let candidate = walk[close_pos];
                 walk.push(candidate);
-                if self.check(&spec.constraint, walk) {
-                    let em = match self.bindings[hop] {
+                let join_guard = self.obs.map(|o| o.join.start());
+                let em = if self.check(&spec.constraint, walk) {
+                    // One membership probe of work.
+                    self.graph.partitions[self.worker].stats.add_walks(1);
+                    match self.bindings[hop] {
                         HopBinding::View(view) => {
                             self.graph
                                 .edge_mult(self.worker, src, candidate, spec.dir, view)
@@ -174,12 +214,13 @@ impl Walker<'_> {
                             self.graph
                                 .delta_edge_mult(self.worker, src, candidate, spec.dir)
                         }
-                    };
-                    // One membership probe of work.
-                    self.graph.partitions[self.worker].stats.add_walks(1);
-                    if em != 0 {
-                        self.recurse(walk, mult * em, hop + 1, sink);
                     }
+                } else {
+                    0
+                };
+                drop(join_guard);
+                if em != 0 {
+                    self.recurse(walk, mult * em, hop + 1, sink);
                 }
                 walk.pop();
                 return;
@@ -187,31 +228,31 @@ impl Walker<'_> {
         }
 
         let allowed = self.allowed.get(hop).copied().flatten();
+        let seek_guard = self.obs.map(|o| o.seek.start());
+        let mut dsts: Vec<(VertexId, i64)> = Vec::new();
         match self.bindings[hop] {
             HopBinding::View(view) => {
                 // W-Seek through the buffer pool; the window capacity is
                 // enforced by the caller's start-vertex chunking, and each
                 // adjacency list is streamed without materialization.
-                let mut dsts: Vec<(VertexId, i64)> = Vec::new();
                 self.graph
                     .for_each_neighbor(self.worker, src, spec.dir, view, |d| {
                         if allowed.is_none_or(|a| a.contains(&d)) {
                             dsts.push((d, 1));
                         }
                     });
-                self.extend_all(walk, mult, hop, &dsts, sink);
             }
             HopBinding::Delta => {
-                let mut dsts: Vec<(VertexId, i64)> = Vec::new();
                 self.graph
                     .for_each_delta_neighbor(self.worker, src, spec.dir, |d, m| {
                         if allowed.is_none_or(|a| a.contains(&d)) {
                             dsts.push((d, m));
                         }
                     });
-                self.extend_all(walk, mult, hop, &dsts, sink);
             }
         }
+        drop(seek_guard);
+        self.extend_all(walk, mult, hop, &dsts, sink);
     }
 
     fn extend_all(
@@ -229,12 +270,26 @@ impl Walker<'_> {
         self.graph.partitions[self.worker]
             .stats
             .add_walks(dsts.len() as u64);
+        // W-Join: time the constraint checks alone, aggregated per batch so
+        // the recursion below is not double-counted into this span.
+        let timed = self.obs.filter(|o| o.enabled());
+        let mut join_ns = 0u64;
         for &(d, em) in dsts {
             walk.push(d);
-            if self.check(constraint, walk) {
+            let t0 = timed.map(|_| std::time::Instant::now());
+            let ok = self.check(constraint, walk);
+            if let Some(t0) = t0 {
+                join_ns += t0.elapsed().as_nanos() as u64;
+            }
+            if ok {
                 self.recurse(walk, mult * em, hop + 1, sink);
             }
             walk.pop();
+        }
+        if let Some(o) = timed {
+            if !dsts.is_empty() {
+                o.join.record(dsts.len() as u64, join_ns);
+            }
         }
     }
 }
@@ -271,6 +326,7 @@ mod tests {
     fn tc_query() -> WalkQuery {
         let lt = |a, b| Expr::bin(BinOp::Lt, Expr::WalkVertex(a), Expr::WalkVertex(b));
         WalkQuery {
+            op_id: 0,
             start_filter: None,
             hops: vec![
                 HopSpec {
@@ -320,6 +376,7 @@ mod tests {
                 local: g.local_index(start),
                 deg_view: View::New,
                 use_intersection,
+                obs: None,
             };
             w.enumerate(start, 1, &mut |_ai, _walk, mult, _ctx| {
                 total += mult;
@@ -411,6 +468,7 @@ mod tests {
                 local: g.local_index(start),
                 deg_view: View::New,
                 use_intersection: true,
+                obs: None,
             };
             w.enumerate(start, 1, &mut |_, walk, _, _| {
                 assert_eq!(walk[1], 1);

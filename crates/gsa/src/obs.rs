@@ -1,0 +1,102 @@
+//! Instruments for the reference stream operators.
+//!
+//! Each Table 3 operator gets a span (`gsa/<op>`) plus tuple-cardinality
+//! counters (`gsa/<op>/tuples_in`, `gsa/<op>/tuples_out`), resolved once
+//! from [`itg_obs::global`] and cached for the process lifetime. With the
+//! global recorder disabled (the default) every handle is a single-branch
+//! no-op, so the reference semantics stay unpolluted by clock reads.
+
+use std::sync::OnceLock;
+
+/// The span + in/out counters of one reference operator.
+pub(crate) struct OpObs {
+    pub span: itg_obs::SpanHandle,
+    tuples_in: itg_obs::CounterHandle,
+    tuples_out: itg_obs::CounterHandle,
+}
+
+impl OpObs {
+    fn resolve(
+        rec: &itg_obs::Recorder,
+        span: &'static str,
+        tin: &'static str,
+        tout: &'static str,
+    ) -> OpObs {
+        OpObs {
+            span: rec.span(span),
+            tuples_in: rec.counter(tin),
+            tuples_out: rec.counter(tout),
+        }
+    }
+
+    /// Record the operator's input/output cardinalities (no-op when the
+    /// global recorder is disabled).
+    pub fn record_cardinality(&self, n_in: usize, n_out: usize) {
+        if self.span.is_enabled() {
+            self.tuples_in.add(n_in as u64);
+            self.tuples_out.add(n_out as u64);
+        }
+    }
+}
+
+/// One `OpObs` per reference operator, in Table 3 order.
+pub(crate) struct GsaObs {
+    pub filter: OpObs,
+    pub map: OpObs,
+    pub union: OpObs,
+    pub difference: OpObs,
+    pub accumulate: OpObs,
+    pub accumulate_global: OpObs,
+    pub assign: OpObs,
+    pub window_seek: OpObs,
+    pub walk: OpObs,
+}
+
+/// The process-wide operator instruments, resolved on first use.
+pub(crate) fn ops() -> &'static GsaObs {
+    static OPS: OnceLock<GsaObs> = OnceLock::new();
+    OPS.get_or_init(|| {
+        let r = itg_obs::global();
+        GsaObs {
+            filter: OpObs::resolve(r, "gsa/filter", "gsa/filter/tuples_in", "gsa/filter/tuples_out"),
+            map: OpObs::resolve(r, "gsa/map", "gsa/map/tuples_in", "gsa/map/tuples_out"),
+            union: OpObs::resolve(r, "gsa/union", "gsa/union/tuples_in", "gsa/union/tuples_out"),
+            difference: OpObs::resolve(
+                r,
+                "gsa/difference",
+                "gsa/difference/tuples_in",
+                "gsa/difference/tuples_out",
+            ),
+            accumulate: OpObs::resolve(
+                r,
+                "gsa/accumulate",
+                "gsa/accumulate/tuples_in",
+                "gsa/accumulate/tuples_out",
+            ),
+            accumulate_global: OpObs::resolve(
+                r,
+                "gsa/accumulate_global",
+                "gsa/accumulate_global/tuples_in",
+                "gsa/accumulate_global/tuples_out",
+            ),
+            assign: OpObs::resolve(r, "gsa/assign", "gsa/assign/tuples_in", "gsa/assign/tuples_out"),
+            window_seek: OpObs::resolve(
+                r,
+                "gsa/window_seek",
+                "gsa/window_seek/tuples_in",
+                "gsa/window_seek/tuples_out",
+            ),
+            walk: OpObs::resolve(r, "gsa/walk", "gsa/walk/tuples_in", "gsa/walk/tuples_out"),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn resolving_twice_returns_the_same_instance() {
+        let a = super::ops() as *const _;
+        let b = super::ops() as *const _;
+        assert_eq!(a, b);
+    }
+}

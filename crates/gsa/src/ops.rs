@@ -8,6 +8,7 @@
 use crate::accm::AccmOp;
 use crate::expr::{eval, EvalError, Expr, IdRowContext};
 use crate::fxhash::FxHashMap;
+use crate::obs;
 use crate::tuple::{Stream, Tuple};
 use crate::value::{PrimType, Value, VertexId};
 
@@ -21,6 +22,8 @@ fn id_row(t: &Tuple) -> Vec<VertexId> {
 /// σ — keep tuples whose predicate over the row evaluates to true.
 /// The predicate references row columns via `Expr::WalkVertex(i)`.
 pub fn filter(input: &Stream, pred: &Expr) -> Result<Stream, EvalError> {
+    let o = &obs::ops().filter;
+    let _g = o.span.start();
     let mut out = Vec::new();
     for t in input {
         let ids = id_row(t);
@@ -29,12 +32,15 @@ pub fn filter(input: &Stream, pred: &Expr) -> Result<Stream, EvalError> {
             out.push(t.clone());
         }
     }
+    o.record_cardinality(input.len(), out.len());
     Ok(out)
 }
 
 /// Π — project each tuple through the column expressions, preserving
 /// multiplicity.
 pub fn map(input: &Stream, exprs: &[Expr]) -> Result<Stream, EvalError> {
+    let o = &obs::ops().map;
+    let _g = o.span.start();
     let mut out = Vec::with_capacity(input.len());
     for t in input {
         let ids = id_row(t);
@@ -45,6 +51,7 @@ pub fn map(input: &Stream, exprs: &[Expr]) -> Result<Stream, EvalError> {
             .collect::<Result<Vec<Value>, _>>()?;
         out.push(Tuple::with_mult(cols, t.mult));
     }
+    o.record_cardinality(input.len(), out.len());
     Ok(out)
 }
 
@@ -58,6 +65,8 @@ pub fn accumulate(
     op: AccmOp,
     ty: PrimType,
 ) -> Result<Vec<(VertexId, Value)>, EvalError> {
+    let o = &obs::ops().accumulate;
+    let _g = o.span.start();
     let mut acc: FxHashMap<VertexId, Value> = FxHashMap::default();
     for t in input {
         let key = t.cols[0]
@@ -74,12 +83,15 @@ pub fn accumulate(
     }
     let mut out: Vec<(VertexId, Value)> = acc.into_iter().collect();
     out.sort_by_key(|(k, _)| *k);
+    o.record_cardinality(input.len(), out.len());
     Ok(out)
 }
 
 /// Global-variable variant of ⊎: fold the first column of every tuple into a
 /// single value.
 pub fn accumulate_global(input: &Stream, op: AccmOp, ty: PrimType) -> Result<Value, EvalError> {
+    let o = &obs::ops().accumulate_global;
+    let _g = o.span.start();
     let mut acc = op.identity(ty);
     for t in input {
         let mut val = t.cols[0].clone();
@@ -90,6 +102,7 @@ pub fn accumulate_global(input: &Stream, op: AccmOp, ty: PrimType) -> Result<Val
         }
         acc = op.combine(&acc, &val, ty);
     }
+    o.record_cardinality(input.len(), 1);
     Ok(acc)
 }
 
@@ -97,6 +110,8 @@ pub fn accumulate_global(input: &Stream, op: AccmOp, ty: PrimType) -> Result<Val
 /// (id, old, new), emit a deletion of the old image and an insertion of the
 /// new image (paper §4.3).
 pub fn assign(input: &Stream) -> Stream {
+    let o = &obs::ops().assign;
+    let _g = o.span.start();
     let mut out = Vec::with_capacity(input.len() * 2);
     for t in input {
         let id = t.cols[0].clone();
@@ -105,6 +120,7 @@ pub fn assign(input: &Stream) -> Stream {
         out.push(Tuple::with_mult(vec![id.clone(), old], -t.mult));
         out.push(Tuple::with_mult(vec![id, new], t.mult));
     }
+    o.record_cardinality(input.len(), out.len());
     out
 }
 

@@ -82,16 +82,22 @@ pub fn streams_equal(a: &Stream, b: &Stream) -> bool {
 
 /// Multiset union `a ∪ b`: concatenation under the ±multiplicity model.
 pub fn union(a: &Stream, b: &Stream) -> Stream {
+    let o = &crate::obs::ops().union;
+    let _g = o.span.start();
     let mut out = a.clone();
     out.extend(b.iter().cloned());
+    o.record_cardinality(a.len() + b.len(), out.len());
     out
 }
 
 /// Multiset difference `a ⊖ b`: `b`'s tuples contribute with negated
 /// multiplicity.
 pub fn difference(a: &Stream, b: &Stream) -> Stream {
+    let o = &crate::obs::ops().difference;
+    let _g = o.span.start();
     let mut out = a.clone();
     out.extend(b.iter().map(Tuple::negated));
+    o.record_cardinality(a.len() + b.len(), out.len());
     out
 }
 

@@ -66,6 +66,8 @@ pub fn window_seek(
     capacity: usize,
 ) -> Vec<GraphWindow> {
     assert!(capacity > 0, "window capacity must be positive");
+    let o = &crate::obs::ops().window_seek;
+    let _g = o.span.start();
     let mut windows = Vec::new();
     for chunk in frontier.chunks(capacity) {
         let mut w = GraphWindow::default();
@@ -84,6 +86,7 @@ pub fn window_seek(
         }
         windows.push(w);
     }
+    o.record_cardinality(frontier.len(), windows.len());
     windows
 }
 
@@ -156,6 +159,8 @@ pub fn enumerate_walks(
         spec.hops(),
         "one graph stream per hop is required"
     );
+    let o = &crate::obs::ops().walk;
+    let _g = o.span.start();
     let mut out = Vec::new();
     let mut prefix: Vec<VertexId> = Vec::with_capacity(spec.hops() + 1);
     for chunk in starts.chunks(capacity.max(1)) {
@@ -165,6 +170,7 @@ pub fn enumerate_walks(
             prefix.pop();
         }
     }
+    o.record_cardinality(starts.len(), out.len());
     out
 }
 

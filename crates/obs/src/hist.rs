@@ -1,0 +1,211 @@
+//! Log₂-bucketed histograms for IO sizes and latencies.
+//!
+//! Observations land in bucket `⌈log₂(v+1)⌉` (bucket 0 holds zeros), so 65
+//! fixed buckets cover the full `u64` range with ≤2× relative quantile
+//! error — the precision the store's page-granular IO actually has.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: zeros plus one per possible bit length.
+pub(crate) const BUCKETS: usize = 65;
+
+/// Lock-free histogram state: one atomic per bucket plus count/sum/max.
+#[derive(Debug)]
+pub struct HistCell {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistCell {
+    fn default() -> HistCell {
+        HistCell {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index of a value: 0 for 0, else its bit length.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Upper bound of a bucket (inclusive): `2^i − 1`.
+fn bucket_upper(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl HistCell {
+    #[inline]
+    pub(crate) fn observe(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, path: &str) -> HistStat {
+        HistStat {
+            path: path.to_string(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some((i as u8, n))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time histogram snapshot with sparse buckets
+/// `(bucket_index, count)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistStat {
+    pub path: String,
+    pub count: u64,
+    pub sum: u64,
+    /// Largest single observation (not diffable; [`HistStat::since`] keeps
+    /// the later interval's running max, an upper bound for the interval).
+    pub max: u64,
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistStat {
+    /// Estimated quantile `q ∈ [0, 1]`: the upper bound of the bucket where
+    /// the cumulative count crosses `q · count`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(i, n) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                return bucket_upper(i as usize).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean observation.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Bucket-wise difference `self − earlier` (`max` is kept from `self`).
+    pub fn since(&self, earlier: &HistStat) -> HistStat {
+        let mut full = [0u64; BUCKETS];
+        for &(i, n) in &self.buckets {
+            full[i as usize] = n;
+        }
+        for &(i, n) in &earlier.buckets {
+            full[i as usize] = full[i as usize].saturating_sub(n);
+        }
+        HistStat {
+            path: self.path.clone(),
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+            buckets: full
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &n)| (n > 0).then_some((i as u8, n)))
+                .collect(),
+        }
+    }
+
+    /// Bucket-wise sum (for merging per-run profiles).
+    pub fn merge(&mut self, other: &HistStat) {
+        let mut full = [0u64; BUCKETS];
+        for &(i, n) in &self.buckets {
+            full[i as usize] = n;
+        }
+        for &(i, n) in &other.buckets {
+            full[i as usize] += n;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.buckets = full
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &n)| (n > 0).then_some((i as u8, n)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn quantiles_and_mean() {
+        let cell = HistCell::default();
+        for v in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 1000] {
+            cell.observe(v);
+        }
+        let s = cell.snapshot("h");
+        assert_eq!(s.count, 10);
+        assert_eq!(s.sum, 1009);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.quantile(0.5), 1);
+        assert_eq!(s.quantile(1.0), 1000);
+        assert!((s.mean() - 100.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn since_subtracts_bucketwise() {
+        let cell = HistCell::default();
+        cell.observe(4);
+        let a = cell.snapshot("h");
+        cell.observe(4);
+        cell.observe(9);
+        let d = cell.snapshot("h").since(&a);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 13);
+        assert_eq!(d.buckets, vec![(3, 1), (4, 1)]);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let c1 = HistCell::default();
+        c1.observe(2);
+        let c2 = HistCell::default();
+        c2.observe(2);
+        c2.observe(100);
+        let mut a = c1.snapshot("h");
+        a.merge(&c2.snapshot("h"));
+        assert_eq!(a.count, 3);
+        assert_eq!(a.max, 100);
+    }
+}

@@ -1,0 +1,421 @@
+//! Hierarchical profiles: snapshots of a [`Recorder`](crate::Recorder)'s
+//! instruments with interval arithmetic, merging, JSON export, and
+//! human-readable breakdown rendering.
+//!
+//! The JSON schema (version 1) is pinned by the golden-file test in
+//! `tests/golden.rs`; bump `SCHEMA_VERSION` and the golden file together
+//! when the shape changes.
+
+use crate::hist::HistStat;
+use crate::OpId;
+
+/// JSON schema version emitted by [`Profile::to_json`].
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Aggregated timer statistics for one `(path, op)` span key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStat {
+    pub path: String,
+    pub op: Option<OpId>,
+    /// Number of recorded intervals.
+    pub count: u64,
+    /// Total recorded wall-clock time, nanoseconds.
+    pub total_ns: u64,
+}
+
+/// One `(path, op)` counter value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterStat {
+    pub path: String,
+    pub op: Option<OpId>,
+    pub value: u64,
+}
+
+/// A point-in-time snapshot of every instrument of a recorder.
+///
+/// Span paths are hierarchical (`/`-separated); the run-phase convention
+/// is that `run/<phase>` spans are disjoint siblings covering the whole
+/// run, with deeper paths (e.g. `run/traverse/seek`) attributing time
+/// *within* a phase — so summing [`Profile::phase_total_ns`] against a
+/// run's wall time measures instrumentation coverage without double
+/// counting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Profile {
+    /// Sorted by `(path, op)`.
+    pub spans: Vec<SpanStat>,
+    /// Sorted by `(path, op)`.
+    pub counters: Vec<CounterStat>,
+    /// Sorted by path.
+    pub hists: Vec<HistStat>,
+}
+
+impl Profile {
+    /// Total recorded nanoseconds across every op of span `path`.
+    pub fn span_total_ns(&self, path: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.path == path)
+            .map(|s| s.total_ns)
+            .sum()
+    }
+
+    /// Total count across every op of counter `path`.
+    pub fn counter_total(&self, path: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.path == path)
+            .map(|c| c.value)
+            .sum()
+    }
+
+    /// The histogram snapshot at `path`, if recorded.
+    pub fn hist(&self, path: &str) -> Option<&HistStat> {
+        self.hists.iter().find(|h| h.path == path)
+    }
+
+    /// Sum of the top-level run-phase spans (paths of the form
+    /// `run/<phase>` — exactly two segments). These are disjoint by
+    /// construction, so this is the instrumented share of a run's wall
+    /// time.
+    pub fn phase_total_ns(&self) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| {
+                s.path.starts_with("run/") && s.path.matches('/').count() == 1
+            })
+            .map(|s| s.total_ns)
+            .sum()
+    }
+
+    /// Interval profile `self − earlier`: entry-wise subtraction on
+    /// matching keys, dropping entries that become zero. Both snapshots
+    /// must come from the same recorder (counters are monotonic).
+    pub fn since(&self, earlier: &Profile) -> Profile {
+        let spans = self
+            .spans
+            .iter()
+            .filter_map(|s| {
+                let e = earlier
+                    .spans
+                    .iter()
+                    .find(|e| e.path == s.path && e.op == s.op);
+                let count = s.count.saturating_sub(e.map_or(0, |e| e.count));
+                let total_ns = s.total_ns.saturating_sub(e.map_or(0, |e| e.total_ns));
+                (count > 0 || total_ns > 0).then(|| SpanStat {
+                    path: s.path.clone(),
+                    op: s.op,
+                    count,
+                    total_ns,
+                })
+            })
+            .collect();
+        let counters = self
+            .counters
+            .iter()
+            .filter_map(|c| {
+                let e = earlier
+                    .counters
+                    .iter()
+                    .find(|e| e.path == c.path && e.op == c.op);
+                let value = c.value.saturating_sub(e.map_or(0, |e| e.value));
+                (value > 0).then(|| CounterStat {
+                    path: c.path.clone(),
+                    op: c.op,
+                    value,
+                })
+            })
+            .collect();
+        let hists = self
+            .hists
+            .iter()
+            .filter_map(|h| {
+                let d = match earlier.hists.iter().find(|e| e.path == h.path) {
+                    Some(e) => h.since(e),
+                    None => h.clone(),
+                };
+                (d.count > 0).then_some(d)
+            })
+            .collect();
+        Profile {
+            spans,
+            counters,
+            hists,
+        }
+    }
+
+    /// Merge `other` into `self`, adding matching keys and appending new
+    /// ones (keeps the sorted order).
+    pub fn merge(&mut self, other: &Profile) {
+        for s in &other.spans {
+            match self
+                .spans
+                .iter_mut()
+                .find(|m| m.path == s.path && m.op == s.op)
+            {
+                Some(m) => {
+                    m.count += s.count;
+                    m.total_ns += s.total_ns;
+                }
+                None => self.spans.push(s.clone()),
+            }
+        }
+        self.spans.sort_by(|a, b| (&a.path, a.op).cmp(&(&b.path, b.op)));
+        for c in &other.counters {
+            match self
+                .counters
+                .iter_mut()
+                .find(|m| m.path == c.path && m.op == c.op)
+            {
+                Some(m) => m.value += c.value,
+                None => self.counters.push(c.clone()),
+            }
+        }
+        self.counters
+            .sort_by(|a, b| (&a.path, a.op).cmp(&(&b.path, b.op)));
+        for h in &other.hists {
+            match self.hists.iter_mut().find(|m| m.path == h.path) {
+                Some(m) => m.merge(h),
+                None => self.hists.push(h.clone()),
+            }
+        }
+        self.hists.sort_by(|a, b| a.path.cmp(&b.path));
+    }
+
+    /// Machine-readable JSON export (schema version
+    /// [`SCHEMA_VERSION`], deterministic field and entry order, pinned by
+    /// the golden-file test).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"version\": {SCHEMA_VERSION},\n"));
+        out.push_str("  \"spans\": [");
+        for (i, s) in self.spans.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"path\": {}, \"op\": {}, \"count\": {}, \"total_ns\": {}}}",
+                json_string(&s.path),
+                json_opt(s.op),
+                s.count,
+                s.total_ns
+            ));
+        }
+        out.push_str(if self.spans.is_empty() { "],\n" } else { "\n  ],\n" });
+        out.push_str("  \"counters\": [");
+        for (i, c) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"path\": {}, \"op\": {}, \"value\": {}}}",
+                json_string(&c.path),
+                json_opt(c.op),
+                c.value
+            ));
+        }
+        out.push_str(if self.counters.is_empty() { "],\n" } else { "\n  ],\n" });
+        out.push_str("  \"histograms\": [");
+        for (i, h) in self.hists.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"path\": {}, \"count\": {}, \"sum\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [{}]}}",
+                json_string(&h.path),
+                h.count,
+                h.sum,
+                h.max,
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
+                h.buckets
+                    .iter()
+                    .map(|(b, n)| format!("[{b}, {n}]"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        out.push_str(if self.hists.is_empty() { "]\n" } else { "\n  ]\n" });
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Escape a string into a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_opt(op: Option<OpId>) -> String {
+    match op {
+        Some(o) => o.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+/// Render a per-operator cost breakdown table of `profile` against a run's
+/// wall time. Span rows are indented by path depth; rows carrying an
+/// [`OpId`] are annotated with the matching label from `labels` (the
+/// compiler's operator table), joining measurements back to the algebra
+/// plan. Ends with the coverage line the acceptance check reads: the share
+/// of `wall_ns` attributed to the disjoint top-level `run/*` phases.
+pub fn render_breakdown(profile: &Profile, wall_ns: u64, labels: &[(OpId, String)]) -> String {
+    let label_of = |op: Option<OpId>| -> String {
+        match op {
+            None => String::new(),
+            Some(o) => labels
+                .iter()
+                .find(|(id, _)| *id == o)
+                .map(|(_, l)| format!("  [{l}]"))
+                .unwrap_or_else(|| format!("  [op {o}]")),
+        }
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<44} {:>12} {:>14} {:>8}\n",
+        "span", "count", "total [ms]", "% wall"
+    ));
+    for s in &profile.spans {
+        let depth = s.path.matches('/').count();
+        let indent = "  ".repeat(depth.saturating_sub(1));
+        let pct = if wall_ns > 0 {
+            100.0 * s.total_ns as f64 / wall_ns as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{:<44} {:>12} {:>14.3} {:>7.1}%\n",
+            format!("{indent}{}{}", s.path, label_of(s.op)),
+            s.count,
+            s.total_ns as f64 / 1e6,
+            pct
+        ));
+    }
+    if !profile.counters.is_empty() {
+        out.push_str(&format!("\n{:<44} {:>12}\n", "counter", "value"));
+        for c in &profile.counters {
+            out.push_str(&format!(
+                "{:<44} {:>12}\n",
+                format!("{}{}", c.path, label_of(c.op)),
+                c.value
+            ));
+        }
+    }
+    if !profile.hists.is_empty() {
+        out.push_str(&format!(
+            "\n{:<44} {:>10} {:>12} {:>10} {:>10} {:>10}\n",
+            "histogram", "count", "mean", "p50", "p99", "max"
+        ));
+        for h in &profile.hists {
+            out.push_str(&format!(
+                "{:<44} {:>10} {:>12.1} {:>10} {:>10} {:>10}\n",
+                h.path,
+                h.count,
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.99),
+                h.max
+            ));
+        }
+    }
+    let covered = profile.phase_total_ns();
+    let pct = if wall_ns > 0 {
+        100.0 * covered as f64 / wall_ns as f64
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "\nphase coverage: {:.3} ms instrumented of {:.3} ms wall ({pct:.1}%)\n",
+        covered as f64 / 1e6,
+        wall_ns as f64 / 1e6,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    fn sample() -> Recorder {
+        let rec = Recorder::enabled();
+        rec.span("run/traverse").record(2, 3_000_000);
+        rec.span("run/traverse/seek").record(10, 1_000_000);
+        rec.span("run/update").record(1, 1_000_000);
+        rec.counter_op("delta/starts", 17).add(42);
+        rec.hist("store/disk_read_bytes").observe(4096);
+        rec
+    }
+
+    #[test]
+    fn phase_total_sums_only_top_level() {
+        let p = sample().profile();
+        assert_eq!(p.phase_total_ns(), 4_000_000);
+    }
+
+    #[test]
+    fn since_drops_unchanged_entries() {
+        let rec = sample();
+        let a = rec.profile();
+        rec.span("run/update").record(1, 500);
+        rec.counter_op("delta/starts", 17).add(1);
+        let d = rec.profile().since(&a);
+        assert_eq!(d.spans.len(), 1);
+        assert_eq!(d.spans[0].path, "run/update");
+        assert_eq!(d.spans[0].total_ns, 500);
+        assert_eq!(d.counters.len(), 1);
+        assert_eq!(d.counters[0].value, 1);
+        assert!(d.hists.is_empty());
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = sample().profile();
+        let b = sample().profile();
+        a.merge(&b);
+        assert_eq!(a.span_total_ns("run/traverse"), 6_000_000);
+        assert_eq!(a.counter_total("delta/starts"), 84);
+        assert_eq!(a.hist("store/disk_read_bytes").unwrap().count, 2);
+    }
+
+    #[test]
+    fn json_shape() {
+        let p = sample().profile();
+        let j = p.to_json();
+        assert!(j.contains("\"version\": 1"));
+        assert!(j.contains("\"path\": \"run/traverse\""));
+        assert!(j.contains("\"op\": 17"));
+        assert!(j.contains("\"op\": null"));
+        assert!(j.contains("\"p50\": 4096"));
+        // Empty profile still emits every section.
+        let e = Profile::default().to_json();
+        assert!(e.contains("\"spans\": []"));
+        assert!(e.contains("\"counters\": []"));
+        assert!(e.contains("\"histograms\": []"));
+    }
+
+    #[test]
+    fn breakdown_renders_labels_and_coverage() {
+        let p = sample().profile();
+        let t = render_breakdown(&p, 5_000_000, &[(17, "ΔQ0 ω(Δes)".to_string())]);
+        assert!(t.contains("run/traverse"));
+        assert!(t.contains("[ΔQ0 ω(Δes)]"));
+        assert!(t.contains("phase coverage"));
+        assert!(t.contains("80.0%"), "4ms of 5ms wall: {t}");
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

@@ -1,0 +1,48 @@
+//! Golden-file test pinning the JSON profile schema (version 1).
+//!
+//! `Profile::to_json` is the contract consumed by external tooling
+//! (`expt --profile out.json`); any change to its shape must be made
+//! deliberately by regenerating `tests/golden_profile.json` alongside a
+//! schema-version bump.
+
+use itg_obs::Recorder;
+
+fn sample_profile_json() -> String {
+    let rec = Recorder::enabled();
+    rec.span("run/setup").record(1, 2_500_000);
+    rec.span("run/traverse").record(3, 40_000_000);
+    rec.span_op("run/traverse/seek", 1).record(120, 25_000_000);
+    rec.span_op("run/traverse/join", 1).record(118, 9_000_000);
+    rec.span("run/update").record(3, 1_500_000);
+    rec.counter_op("delta/starts", 17).add(640);
+    rec.counter_op("delta/contribs", 17).add(512);
+    rec.counter("delta/recompute_triggers").add(4);
+    rec.counter_op("oneshot/starts", 1).add(100_000);
+    let h = rec.hist("store/disk_read_bytes");
+    h.observe(4096);
+    h.observe(4096);
+    h.observe(65536);
+    rec.profile().to_json()
+}
+
+#[test]
+fn json_profile_matches_golden_file() {
+    let got = sample_profile_json();
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_profile.json");
+    if std::env::var_os("ITG_BLESS").is_some() {
+        std::fs::write(golden_path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(golden_path)
+        .expect("golden file missing — run with ITG_BLESS=1 to regenerate");
+    assert_eq!(
+        got, want,
+        "JSON profile schema drifted from tests/golden_profile.json; \
+         if intentional, bump itg_obs::SCHEMA_VERSION and rerun with ITG_BLESS=1"
+    );
+}
+
+#[test]
+fn json_is_stable_across_recorders() {
+    assert_eq!(sample_profile_json(), sample_profile_json());
+}

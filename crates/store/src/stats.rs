@@ -4,14 +4,47 @@
 //! in the engine increments these counters. The paper's evaluation reports
 //! reductions in disk IO bytes and network transfer sizes (§6.2); these
 //! counters regenerate those metrics exactly.
+//!
+//! When built with an enabled [`itg_obs::Recorder`] (see
+//! [`IoStats::with_obs`]), each byte-accounted event additionally feeds a
+//! size histogram, and the attribute-store operations record latency spans
+//! — the per-distribution view behind the aggregate counters.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Cached observability handles resolved once per `IoStats`; disabled
+/// handles (the default) are single-branch no-ops on the hot path.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct StoreObs {
+    pub(crate) disk_read_bytes: itg_obs::HistHandle,
+    pub(crate) disk_write_bytes: itg_obs::HistHandle,
+    pub(crate) net_bytes: itg_obs::HistHandle,
+    pub(crate) attr_load_ns: itg_obs::HistHandle,
+    pub(crate) attr_load: itg_obs::SpanHandle,
+    pub(crate) attr_record: itg_obs::SpanHandle,
+    pub(crate) merge: itg_obs::SpanHandle,
+}
+
+impl StoreObs {
+    fn new(rec: &itg_obs::Recorder) -> StoreObs {
+        StoreObs {
+            disk_read_bytes: rec.hist("store/disk_read_bytes"),
+            disk_write_bytes: rec.hist("store/disk_write_bytes"),
+            net_bytes: rec.hist("store/net_bytes"),
+            attr_load_ns: rec.hist("store/attr_load_ns"),
+            attr_load: rec.span("store/attr_load"),
+            attr_record: rec.span("store/attr_record"),
+            merge: rec.span("store/merge"),
+        }
+    }
+}
 
 /// Shared counters. Cheap to clone (an `Arc` internally).
 #[derive(Debug, Default, Clone)]
 pub struct IoStats {
     inner: Arc<Counters>,
+    pub(crate) obs: StoreObs,
 }
 
 #[derive(Debug, Default)]
@@ -57,18 +90,32 @@ impl IoSnapshot {
 }
 
 impl IoStats {
+    /// Counters with disabled observability handles (histograms and spans
+    /// are no-ops). Use [`IoStats::with_obs`] to attach a recorder.
     pub fn new() -> IoStats {
         IoStats::default()
+    }
+
+    /// Counters whose byte-accounted events additionally feed `rec`'s
+    /// `store/*` histograms and spans. The handles are resolved here, once;
+    /// a disabled `rec` yields the same no-op handles as [`IoStats::new`].
+    pub fn with_obs(rec: &itg_obs::Recorder) -> IoStats {
+        IoStats {
+            inner: Arc::default(),
+            obs: StoreObs::new(rec),
+        }
     }
 
     #[inline]
     pub fn add_disk_read(&self, bytes: u64) {
         self.inner.disk_read_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.obs.disk_read_bytes.observe(bytes);
     }
 
     #[inline]
     pub fn add_disk_write(&self, bytes: u64) {
         self.inner.disk_write_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.obs.disk_write_bytes.observe(bytes);
     }
 
     #[inline]
@@ -84,6 +131,7 @@ impl IoStats {
     #[inline]
     pub fn add_net(&self, bytes: u64) {
         self.inner.net_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.obs.net_bytes.observe(bytes);
     }
 
     #[inline]
@@ -135,6 +183,21 @@ mod tests {
         assert_eq!(d.disk_read_bytes, 50);
         assert_eq!(d.net_bytes, 7);
         assert_eq!(b.total_disk_bytes(), 150);
+    }
+
+    #[test]
+    fn obs_histograms_mirror_byte_counters() {
+        let rec = itg_obs::Recorder::enabled();
+        let s = IoStats::with_obs(&rec);
+        s.add_disk_read(4096);
+        s.add_disk_write(128);
+        s.add_net(64);
+        let p = rec.profile();
+        assert_eq!(p.hist("store/disk_read_bytes").unwrap().sum, 4096);
+        assert_eq!(p.hist("store/disk_write_bytes").unwrap().sum, 128);
+        assert_eq!(p.hist("store/net_bytes").unwrap().sum, 64);
+        // The aggregate counters are unaffected by observability.
+        assert_eq!(s.snapshot().disk_read_bytes, 4096);
     }
 
     #[test]

@@ -174,19 +174,24 @@ impl AttrStore {
     /// A fresh in-memory working array initialized from the baseline
     /// (read cost: the baseline bytes).
     pub fn materialize_init(&self) -> Vec<ColumnData> {
+        let t0 = self.load_timer_start();
         let bytes: u64 = self
             .init
             .iter()
             .map(|c| (c.elem_bytes() * c.len()) as u64)
             .sum();
         self.stats.add_disk_read(bytes);
-        self.init.clone()
+        let out = self.init.clone();
+        self.load_timer_stop(t0);
+        out
     }
 
     /// Record the after-image run for (snapshot `t`, superstep `s`), then
     /// let the maintenance policy decide whether to merge the chain.
     /// `vids`/`rows` list the changed vertices and their new values.
     pub fn record_run(&mut self, t: usize, s: usize, vids: Vec<u32>, cols: Vec<ColumnData>) {
+        let _span = self.stats.obs.attr_record.clone();
+        let _g = _span.start();
         debug_assert_eq!(cols.len(), self.col_types.len());
         debug_assert!(cols.iter().all(|c| c.len() == vids.len()));
         while self.chains.len() <= s {
@@ -209,6 +214,8 @@ impl AttrStore {
     /// Consolidate superstep `s`'s chain into a single checkpoint run.
     /// Read cost: the chain; write cost: the consolidated run.
     pub fn merge_chain(&mut self, s: usize) {
+        let _span = self.stats.obs.merge.clone();
+        let _g = _span.start();
         let Some(chain) = self.chains.get_mut(s) else {
             return;
         };
@@ -264,6 +271,7 @@ impl AttrStore {
     /// `A` at superstep `s`) by overlaying superstep `s`'s chain,
     /// oldest-first, onto `array`. Read cost: every run touched.
     pub fn load_superstep(&self, s: usize, array: &mut [ColumnData]) {
+        let t0 = self.load_timer_start();
         let Some(chain) = self.chains.get(s) else {
             return;
         };
@@ -284,6 +292,7 @@ impl AttrStore {
             overlay(run);
         }
         self.stats.add_disk_read(read);
+        self.load_timer_stop(t0);
     }
 
     /// Like [`Self::load_superstep`] but only applying runs with
@@ -292,6 +301,7 @@ impl AttrStore {
     /// exists (it never does in the engine's execution order, but tests and
     /// external callers can replay histories).
     pub fn load_superstep_before(&self, s: usize, t: usize, array: &mut [ColumnData]) {
+        let t0 = self.load_timer_start();
         let Some(chain) = self.chains.get(s) else {
             return;
         };
@@ -316,6 +326,30 @@ impl AttrStore {
             }
         }
         self.stats.add_disk_read(read);
+        self.load_timer_stop(t0);
+    }
+
+    /// When observability is enabled, start the clock for one attribute
+    /// load; paired with [`Self::load_timer_stop`], which feeds both the
+    /// `store/attr_load` span and the `store/attr_load_ns` latency
+    /// histogram from a single clock pair. Disabled recorders never read
+    /// the clock.
+    #[inline]
+    fn load_timer_start(&self) -> Option<std::time::Instant> {
+        self.stats
+            .obs
+            .attr_load
+            .is_enabled()
+            .then(std::time::Instant::now)
+    }
+
+    #[inline]
+    fn load_timer_stop(&self, t0: Option<std::time::Instant>) {
+        if let Some(t0) = t0 {
+            let ns = t0.elapsed().as_nanos() as u64;
+            self.stats.obs.attr_load.record(1, ns);
+            self.stats.obs.attr_load_ns.observe(ns);
+        }
     }
 
     /// Number of supersteps with recorded chains.
