@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! cargo run --release -p itg-bench --bin expt -- <table6|fig12|fig13|fig14|
-//!     fig15a|fig15b|fig16a|fig16b|fig17|scaling|profile|all> [--profile FILE]
+//!     fig15a|fig15b|fig16a|fig16b|fig17|scaling|profile|all>
+//!     [--profile FILE] [--transport local|process]
 //! ```
 //!
 //! `scaling` is not a paper artifact: it measures intra-partition thread
@@ -24,6 +25,18 @@ use iturbograph::prelude::*;
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let profile_out = take_flag_value(&mut args, "--profile");
+    match take_flag_value(&mut args, "--transport").as_deref() {
+        None | Some("local") => {}
+        Some("process") => {
+            TRANSPORT
+                .set(TransportKind::Process { workers: 0 })
+                .expect("transport set once");
+        }
+        Some(other) => {
+            eprintln!("unknown transport `{other}` (try local|process)");
+            std::process::exit(2);
+        }
+    }
     if profile_out.is_some() && !itg_obs::init_global(true) {
         eprintln!("warning: global recorder already initialized; --profile may be partial");
     }
@@ -143,10 +156,20 @@ const BATCHES: usize = 4;
 const BATCH_SIZE: usize = 100;
 const RATIO: u32 = 75;
 
+/// The exchange plane every experiment builds its sessions on, set once
+/// from the global `--transport {local,process}` flag (`process` = one
+/// `itg-partition-worker` OS process per machine).
+static TRANSPORT: std::sync::OnceLock<TransportKind> = std::sync::OnceLock::new();
+
+fn transport_kind() -> TransportKind {
+    TRANSPORT.get().copied().unwrap_or(TransportKind::Local)
+}
+
 fn single_machine_cfg(algo: &str) -> EngineConfig {
     EngineConfig {
         machines: 1,
         max_supersteps: superstep_cap(algo),
+        transport: transport_kind(),
         ..EngineConfig::default()
     }
 }
@@ -156,6 +179,7 @@ fn cluster_cfg(algo: &str, machines: usize) -> EngineConfig {
         machines,
         parallel: true,
         max_supersteps: superstep_cap(algo),
+        transport: transport_kind(),
         ..EngineConfig::default()
     }
 }

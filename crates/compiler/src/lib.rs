@@ -48,6 +48,7 @@ pub fn compile(checked: &CheckedProgram) -> Result<CompiledProgram, LngaError> {
         incremental_safe,
         max_hops,
         analysis,
+        source: String::new(),
     };
     program.assign_operator_ids();
     Ok(program)
@@ -136,7 +137,9 @@ fn analyze(
 
 /// Front end + compiler in one call: `L_NGA` source text to compiled plans.
 pub fn compile_source(src: &str) -> Result<CompiledProgram, LngaError> {
-    compile(&itg_lnga::frontend(src)?)
+    let mut program = compile(&itg_lnga::frontend(src)?)?;
+    program.source = src.to_string();
+    Ok(program)
 }
 
 #[cfg(test)]

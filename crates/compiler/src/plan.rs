@@ -206,6 +206,13 @@ pub struct CompiledProgram {
     pub max_hops: usize,
     /// Static usage facts for the engine's incremental scheduling.
     pub analysis: ProgramAnalysis,
+    /// The `L_NGA` source text this program was compiled from, when known
+    /// ([`crate::compile_source`] sets it; direct [`crate::compile`] calls
+    /// leave it empty). The engine's process transport ships this text to
+    /// partition worker processes, which recompile it locally — compilation
+    /// is deterministic, so the workers' plans (operator ids included)
+    /// match the coordinator's.
+    pub source: String,
 }
 
 impl CompiledProgram {

@@ -16,12 +16,9 @@
 //! // Triangle counting, written once in L_NGA — the incremental plan is
 //! // derived automatically.
 //! let graph = GraphInput::undirected(vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
-//! let mut session = Session::from_source(
-//!     iturbograph::algorithms::TRIANGLE_COUNT,
-//!     &graph,
-//!     EngineConfig::default(),
-//! )
-//! .unwrap();
+//! let mut session = SessionBuilder::new()
+//!     .from_source(iturbograph::algorithms::TRIANGLE_COUNT, &graph)
+//!     .unwrap();
 //!
 //! session.run_oneshot();
 //! assert_eq!(session.global_value("cnts", None).unwrap(), Value::Long(1));
@@ -63,7 +60,10 @@ pub mod algorithms {
 /// The common imports for applications.
 pub mod prelude {
     pub use itg_compiler::{compile_source, CompiledProgram};
-    pub use itg_engine::{EngineConfig, GraphInput, OptFlags, RunKind, RunMetrics, Session};
+    pub use itg_engine::{
+        EngineConfig, GraphInput, OptFlags, RunKind, RunMetrics, Session, SessionBuilder,
+        TransportKind,
+    };
     pub use itg_gsa::{Value, VertexId};
     pub use itg_store::{EdgeMutation, MaintenancePolicy, MutationBatch};
 }
@@ -75,12 +75,9 @@ mod tests {
     #[test]
     fn facade_quickstart_compiles_and_runs() {
         let graph = GraphInput::undirected(vec![(0, 1), (0, 2), (1, 2)]);
-        let mut s = Session::from_source(
-            crate::algorithms::TRIANGLE_COUNT,
-            &graph,
-            EngineConfig::default(),
-        )
-        .unwrap();
+        let mut s = SessionBuilder::from_config(EngineConfig::default())
+            .from_source(crate::algorithms::TRIANGLE_COUNT, &graph)
+            .unwrap();
         s.run_oneshot();
         assert_eq!(s.global_value("cnts", None).unwrap(), Value::Long(1));
     }

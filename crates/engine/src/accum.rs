@@ -118,7 +118,7 @@ impl AccmLayout {
 }
 
 /// A pre-aggregated set of contributions to one target.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Contribution {
     /// Group-foldable part (starts at the identity).
     pub folded: Value,

@@ -1,0 +1,15 @@
+//! `itg-partition-worker`: one process of a `TransportKind::Process`
+//! partition fleet. Spawned by the coordinator with a piped stdin/stdout;
+//! never run by hand. All protocol logic lives in `itg_engine::worker`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match itg_engine::worker::worker_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("itg-partition-worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

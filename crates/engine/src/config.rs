@@ -1,6 +1,11 @@
 //! Engine configuration: simulated cluster size, window/buffer budgets, and
 //! the optimization flags evaluated in the paper's ablation (§6.4.2).
+//!
+//! Environment knobs are consolidated in [`EngineConfig::from_env`]; an
+//! explicit builder/setter call always wins over the environment, which in
+//! turn wins over the built-in default.
 
+use crate::transport::TransportKind;
 use itg_store::MaintenancePolicy;
 
 /// The run-time optimization switches (Figure 16's ablation axes).
@@ -71,6 +76,11 @@ pub struct EngineConfig {
     /// knob produces byte-identical results — including `1`, which runs
     /// the same chunked path inline.
     pub threads_per_machine: usize,
+    /// The superstep message-exchange plane. [`TransportKind::Local`] (the
+    /// default) keeps every partition in this process;
+    /// [`TransportKind::Process`] runs partition groups in separate
+    /// `itg-partition-worker` OS processes coordinated over pipes.
+    pub transport: TransportKind,
     /// Observability recorder threaded through the session, its stores,
     /// and its walkers. Defaults to a clone of [`itg_obs::global`] — a
     /// no-op unless the `ITG_PROFILE` environment variable enables it (or
@@ -97,6 +107,7 @@ impl Default for EngineConfig {
             opts: OptFlags::default(),
             parallel: false,
             threads_per_machine: default_threads_per_machine(),
+            transport: TransportKind::Local,
             obs: itg_obs::global().clone(),
         }
     }
@@ -106,11 +117,12 @@ impl Default for EngineConfig {
 /// environment variable when set (CI runs the whole test suite at 4 this
 /// way), otherwise 1.
 fn default_threads_per_machine() -> usize {
-    std::env::var("ITG_THREADS_PER_MACHINE")
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
+    parse_threads(std::env::var("ITG_THREADS_PER_MACHINE").ok().as_deref()).unwrap_or(1)
+}
+
+fn parse_threads(var: Option<&str>) -> Option<usize> {
+    var.and_then(|s| s.trim().parse::<usize>().ok())
         .filter(|&n| n >= 1)
-        .unwrap_or(1)
 }
 
 impl EngineConfig {
@@ -126,6 +138,34 @@ impl EngineConfig {
     pub fn with_threads(mut self, threads: usize) -> EngineConfig {
         self.threads_per_machine = threads.max(1);
         self
+    }
+
+    /// A configuration seeded from the process environment — the one place
+    /// every `ITG_*` engine knob is interpreted:
+    ///
+    /// | variable                   | effect                                 |
+    /// |----------------------------|----------------------------------------|
+    /// | `ITG_THREADS_PER_MACHINE`  | `threads_per_machine` (integer ≥ 1)    |
+    /// | `ITG_PROFILE`              | any non-empty value enables `obs`      |
+    ///
+    /// Precedence: an explicit setter/builder call after this constructor
+    /// overrides the environment, which overrides the built-in default.
+    pub fn from_env() -> EngineConfig {
+        EngineConfig::from_env_lookup(|k| std::env::var(k).ok())
+    }
+
+    /// [`EngineConfig::from_env`] with an injectable variable lookup —
+    /// deterministic under concurrent test execution (no process-global
+    /// environment mutation needed to test precedence).
+    pub fn from_env_lookup(get: impl Fn(&str) -> Option<String>) -> EngineConfig {
+        let mut cfg = EngineConfig::default();
+        if let Some(n) = parse_threads(get("ITG_THREADS_PER_MACHINE").as_deref()) {
+            cfg.threads_per_machine = n;
+        }
+        if get("ITG_PROFILE").is_some_and(|v| !v.trim().is_empty()) {
+            cfg.obs = itg_obs::Recorder::enabled();
+        }
+        cfg
     }
 }
 
@@ -145,6 +185,40 @@ mod tests {
     fn with_threads_clamps_to_one() {
         assert_eq!(EngineConfig::default().with_threads(0).threads_per_machine, 1);
         assert_eq!(EngineConfig::default().with_threads(4).threads_per_machine, 4);
+    }
+
+    #[test]
+    fn from_env_precedence_is_builder_over_env_over_default() {
+        // Default when the environment is silent.
+        let base = EngineConfig::from_env_lookup(|_| None);
+        assert_eq!(base.threads_per_machine, 1);
+        assert!(!base.obs.is_enabled());
+        assert_eq!(base.transport, TransportKind::Local);
+
+        // Environment overrides the default …
+        let env = EngineConfig::from_env_lookup(|k| match k {
+            "ITG_THREADS_PER_MACHINE" => Some(" 3 ".into()),
+            "ITG_PROFILE" => Some("1".into()),
+            _ => None,
+        });
+        assert_eq!(env.threads_per_machine, 3);
+        assert!(env.obs.is_enabled());
+
+        // … and an explicit builder call overrides the environment.
+        let built = EngineConfig::from_env_lookup(|k| {
+            (k == "ITG_THREADS_PER_MACHINE").then(|| "3".into())
+        })
+        .with_threads(7);
+        assert_eq!(built.threads_per_machine, 7);
+
+        // Garbage values fall back to the default, not a panic.
+        let junk = EngineConfig::from_env_lookup(|k| match k {
+            "ITG_THREADS_PER_MACHINE" => Some("zero".into()),
+            "ITG_PROFILE" => Some("  ".into()),
+            _ => None,
+        });
+        assert_eq!(junk.threads_per_machine, 1);
+        assert!(!junk.obs.is_enabled());
     }
 
     #[test]

@@ -75,6 +75,11 @@ impl ClusterGraph {
     /// Load a graph across `machines` partitions, with IO accounted
     /// against the process-global observability recorder (a no-op unless
     /// `ITG_PROFILE` enabled it — see [`itg_obs::global`]).
+    ///
+    /// **Deprecated in favor of [`crate::SessionBuilder`]** — sessions
+    /// built through the builder load their graph internally with the
+    /// session's own recorder ([`ClusterGraph::load_with_obs`]); call this
+    /// positional shim only when a bare graph without a session is needed.
     pub fn load(
         input: &GraphInput,
         machines: usize,

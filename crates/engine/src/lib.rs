@@ -9,16 +9,35 @@
 //! pre-aggregated accumulator exchanges are charged as network bytes, and
 //! all store reads flow through per-machine buffer pools.
 
+//! ## Distribution
+//!
+//! Superstep message exchange is abstracted behind the
+//! [`transport::Transport`] trait. The default [`transport::TransportKind::Local`]
+//! plane keeps every partition in-process;
+//! [`transport::TransportKind::Process`] runs partition groups in separate
+//! `itg-partition-worker` OS processes, exchanging the versioned
+//! [`wire::Payload`] binary format over pipes with a coordinator handling
+//! barriers, global reduction, and convergence voting (DESIGN.md
+//! §Distribution).
+
 pub mod accum;
+pub mod builder;
 pub mod config;
+mod coordinator;
 pub mod graph;
 pub mod metrics;
 pub mod msbfs;
 pub mod session;
+pub mod transport;
 pub mod vexec;
 pub mod walker;
+pub mod wire;
+pub mod worker;
 
+pub use builder::SessionBuilder;
 pub use config::{EngineConfig, OptFlags};
 pub use graph::{ClusterGraph, GraphInput};
 pub use metrics::{ParallelMetrics, RunKind, RunMetrics};
 pub use session::{EngineError, Session};
+pub use transport::{Transport, TransportError, TransportKind};
+pub use wire::Payload;

@@ -7,7 +7,11 @@ use crate::config::EngineConfig;
 use crate::graph::{ClusterGraph, GraphInput};
 use crate::metrics::{ParallelMetrics, RunKind, RunMetrics};
 use crate::msbfs::{backward_msbfs, PruningLevels};
+use crate::transport::{
+    LocalTransport, PipeLink, ProcessTransport, Transport, TransportError, TransportKind, COORD,
+};
 use crate::vexec::{execute, VertexCtx};
+use crate::wire::Payload;
 use crate::walker::{HopBinding, WalkSpans, Walker};
 use itg_compiler::{ActionTarget, CompiledProgram, DeltaSubQuery, WalkQuery};
 use itg_gsa::expr::eval;
@@ -17,6 +21,14 @@ use itg_lnga::AccmInfo;
 use itg_store::{AttrStore, IoSnapshot, MutationBatch, View};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// Per-destination-machine, per-accumulator merged contributions after a
+/// superstep exchange: `inbox[dst][accm][vertex]`.
+type ExchangeInbox = Vec<Vec<FxHashMap<VertexId, Contribution>>>;
+
+/// One undelivered vertex frame awaiting the deterministic sender-order
+/// merge: `(dst machine, sender machine, per-accumulator contributions)`.
+type ContribFrame = (usize, u32, Vec<Vec<(VertexId, Contribution)>>);
 
 /// Statistics of one intra-partition enumeration phase (one
 /// [`Session::parallel_enumerate`] call): how many chunks the work list
@@ -42,8 +54,8 @@ struct QueryObs {
 /// [`Session::new`] so the hot paths never touch the recorder's interning
 /// locks. With a disabled recorder each handle is a single-branch no-op
 /// and `enabled` gates the few explicit clock reads.
-struct SessionObs {
-    enabled: bool,
+pub(crate) struct SessionObs {
+    pub(crate) enabled: bool,
     setup: itg_obs::SpanHandle,
     pruning: itg_obs::SpanHandle,
     schedule: itg_obs::SpanHandle,
@@ -123,6 +135,10 @@ pub enum EngineError {
     Compile(itg_lnga::LngaError),
     Unsupported(String),
     UnknownAttr(String),
+    /// A superstep index past the executed range of the last run.
+    BadSuperstep { requested: usize, executed: usize },
+    /// A distribution-layer failure (worker spawn, pipe IO, protocol).
+    Transport(TransportError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -131,6 +147,12 @@ impl std::fmt::Display for EngineError {
             EngineError::Compile(e) => write!(f, "{e}"),
             EngineError::Unsupported(m) => write!(f, "unsupported program: {m}"),
             EngineError::UnknownAttr(n) => write!(f, "unknown attribute `{n}`"),
+            EngineError::BadSuperstep { requested, executed } => write!(
+                f,
+                "superstep {requested} out of range: the last run executed \
+                 {executed} superstep(s)"
+            ),
+            EngineError::Transport(e) => write!(f, "{e}"),
         }
     }
 }
@@ -143,23 +165,57 @@ impl From<itg_lnga::LngaError> for EngineError {
     }
 }
 
+impl From<TransportError> for EngineError {
+    fn from(e: TransportError) -> EngineError {
+        EngineError::Transport(e)
+    }
+}
+
+/// Which role this session plays in the distribution topology, and the
+/// transport behind its exchange.
+pub(crate) enum Plane {
+    /// Every partition in this process; exchange over an in-memory
+    /// loopback ([`LocalTransport`] unless a test injects another).
+    Local(Box<dyn Transport>),
+    /// A partition worker process driving `Session::owned` over a pipe to
+    /// the coordinator.
+    Worker(PipeLink),
+    /// The coordinator of a [`ProcessTransport`] fleet; drives no
+    /// partitions itself (see `coordinator.rs`).
+    Coordinator(ProcessTransport),
+}
+
 /// An analytics session over a dynamic graph.
 pub struct Session {
     pub cfg: EngineConfig,
     pub program: CompiledProgram,
     pub graph: ClusterGraph,
-    layout: AccmLayout,
-    parts: Vec<PartitionState>,
+    pub(crate) layout: AccmLayout,
+    pub(crate) parts: Vec<PartitionState>,
     /// Global accumulator values: `[snapshot][superstep][global]`.
-    globals_history: Vec<Vec<Vec<Value>>>,
+    pub(crate) globals_history: Vec<Vec<Vec<Value>>>,
     /// Supersteps executed per snapshot.
-    superstep_counts: Vec<usize>,
-    ran_oneshot: bool,
-    obs: SessionObs,
+    pub(crate) superstep_counts: Vec<usize>,
+    pub(crate) ran_oneshot: bool,
+    pub(crate) obs: SessionObs,
+    /// The exchange endpoint and this session's role in the topology.
+    pub(crate) plane: Plane,
+    /// The machine range this session drives (all machines for
+    /// [`Plane::Local`], a contiguous group for [`Plane::Worker`], empty
+    /// for [`Plane::Coordinator`]).
+    pub(crate) owned: std::ops::Range<usize>,
+    /// Monotonic barrier sequence; coordinator and workers increment it at
+    /// the same protocol points, so it doubles as a lockstep check.
+    pub(crate) barrier_seq: u64,
 }
 
 impl Session {
     /// Create a session from `L_NGA` source text and an input graph.
+    ///
+    /// **Deprecated in favor of [`crate::SessionBuilder`]** — prefer
+    /// `SessionBuilder::new().machines(n).from_source(src, input)`, which
+    /// names each knob and folds in the environment defaults. This shim
+    /// stays for positional-constructor callers and behaves identically.
     pub fn from_source(
         src: &str,
         input: &GraphInput,
@@ -169,11 +225,40 @@ impl Session {
         Session::new(program, input, cfg)
     }
 
-    /// Create a session from a compiled program.
+    /// Create a session from a compiled program. The configured
+    /// [`TransportKind`] decides the topology: `Local` keeps every
+    /// partition in this process; `Process` spawns partition worker
+    /// processes and turns this session into their coordinator.
+    ///
+    /// **Deprecated in favor of [`crate::SessionBuilder`]** — prefer
+    /// `SessionBuilder::new().machines(n).build(program, input)`. This
+    /// shim stays for positional-constructor callers and behaves
+    /// identically.
     pub fn new(
         program: CompiledProgram,
         input: &GraphInput,
         cfg: EngineConfig,
+    ) -> Result<Session, EngineError> {
+        match cfg.transport {
+            TransportKind::Local => {
+                let plane = Plane::Local(Box::new(LocalTransport::new(&cfg.obs)));
+                let owned = 0..cfg.machines;
+                Session::assemble(program, input, cfg, plane, owned)
+            }
+            TransportKind::Process { workers } => {
+                Session::build_coordinator(program, input, cfg, workers)
+            }
+        }
+    }
+
+    /// Build the session state shared by every role: validate the program,
+    /// load the (full, replicated) graph, and size the per-machine stores.
+    pub(crate) fn assemble(
+        program: CompiledProgram,
+        input: &GraphInput,
+        cfg: EngineConfig,
+        plane: Plane,
+        owned: std::ops::Range<usize>,
     ) -> Result<Session, EngineError> {
         if program.symbols.uses_in_direction && input.undirected {
             return Err(EngineError::Unsupported(
@@ -235,7 +320,118 @@ impl Session {
             superstep_counts: Vec::new(),
             ran_oneshot: false,
             obs,
+            plane,
+            owned,
+            barrier_seq: 0,
         })
+    }
+
+    /// The active transport endpoint.
+    fn transport_mut(&mut self) -> &mut dyn Transport {
+        match &mut self.plane {
+            Plane::Local(t) => t.as_mut(),
+            Plane::Worker(link) => link,
+            Plane::Coordinator(t) => t,
+        }
+    }
+
+    pub(crate) fn is_coordinator(&self) -> bool {
+        matches!(self.plane, Plane::Coordinator(_))
+    }
+
+    /// The coordinator's process transport. Panics outside that role.
+    pub(crate) fn coord(&mut self) -> &mut ProcessTransport {
+        match &mut self.plane {
+            Plane::Coordinator(t) => t,
+            _ => unreachable!("coordinator-only operation on a non-coordinator session"),
+        }
+    }
+
+    /// The next control payload from the coordinator (worker plane only).
+    pub(crate) fn worker_recv_ctrl(&mut self) -> Payload {
+        match &mut self.plane {
+            Plane::Worker(link) => link.recv_ctrl().expect("coordinator control message"),
+            _ => unreachable!("control receive outside the worker plane"),
+        }
+    }
+
+    /// The worker plane's pipe link. Panics outside that role.
+    pub(crate) fn worker_link(&mut self) -> &mut PipeLink {
+        match &mut self.plane {
+            Plane::Worker(link) => link,
+            _ => unreachable!("worker-only operation on a non-worker session"),
+        }
+    }
+
+    /// Reduce this plane's active-set cardinality `mine` to the cluster
+    /// total: identity under [`Plane::Local`] (it owns every machine); a
+    /// frontier-vote round trip through the coordinator under
+    /// [`Plane::Worker`]. Every worker evaluates the identical break
+    /// condition on the returned total, keeping superstep counts in
+    /// lockstep.
+    fn plane_total_active(&mut self, superstep: usize, mine: usize) -> usize {
+        match &mut self.plane {
+            Plane::Local(_) => mine,
+            Plane::Worker(link) => {
+                let from = link.rank();
+                link.send(
+                    COORD,
+                    Payload::Frontier {
+                        from,
+                        superstep: superstep as u64,
+                        active: mine as u64,
+                    },
+                )
+                .expect("frontier vote send");
+                match link.recv_ctrl().expect("frontier total") {
+                    Payload::FrontierTotal { superstep: s, active } => {
+                        assert_eq!(s, superstep as u64, "frontier superstep lockstep");
+                        active as usize
+                    }
+                    other => panic!("expected FrontierTotal, got {}", other.kind()),
+                }
+            }
+            Plane::Coordinator(_) => {
+                unreachable!("the coordinator does not drive supersteps locally")
+            }
+        }
+    }
+
+    /// Agree on the cluster-wide monoid-recompute sets: identity under
+    /// [`Plane::Local`]; under [`Plane::Worker`], ship this worker's sets
+    /// (sorted, for a canonical wire form) and receive the coordinator's
+    /// union. Only set *content* must agree across peers — the recompute
+    /// phase's folds are order-insensitive (reset + commutative min/max
+    /// re-derivation).
+    fn plane_union_recompute(
+        &mut self,
+        recompute: Vec<FxHashSet<VertexId>>,
+    ) -> Vec<FxHashSet<VertexId>> {
+        match &mut self.plane {
+            Plane::Local(_) => recompute,
+            Plane::Worker(link) => {
+                let from = link.rank();
+                let sets: Vec<Vec<VertexId>> = recompute
+                    .iter()
+                    .map(|s| {
+                        let mut v: Vec<VertexId> = s.iter().copied().collect();
+                        v.sort_unstable();
+                        v
+                    })
+                    .collect();
+                link.send(COORD, Payload::RecomputeSets { from, sets })
+                    .expect("recompute sets send");
+                match link.recv_ctrl().expect("recompute union") {
+                    Payload::RecomputeUnion { sets } => {
+                        sets.into_iter().map(|s| s.into_iter().collect()).collect()
+                    }
+                    other => panic!("expected RecomputeUnion, got {}", other.kind()),
+                }
+            }
+            Plane::Coordinator(_) => {
+                unreachable!("the coordinator does not drive supersteps locally")
+            }
+        }
     }
 
     /// The current snapshot index.
@@ -258,7 +454,8 @@ impl Session {
 
     /// Read a global accumulator's value at a superstep of the last run
     /// (defaults to superstep 0 when `superstep` is `None` — the common
-    /// single-superstep analytics case).
+    /// single-superstep analytics case). A superstep past the executed
+    /// range is [`EngineError::BadSuperstep`], not a silent clamp.
     pub fn global_value(&self, name: &str, superstep: Option<usize>) -> Result<Value, EngineError> {
         let idx = self
             .program
@@ -268,7 +465,13 @@ impl Session {
         let snap = self.globals_history.last().ok_or_else(|| {
             EngineError::Unsupported("no run has been executed yet".into())
         })?;
-        let s = superstep.unwrap_or(0).min(snap.len().saturating_sub(1));
+        let s = superstep.unwrap_or(0);
+        if s >= snap.len() {
+            return Err(EngineError::BadSuperstep {
+                requested: s,
+                executed: snap.len(),
+            });
+        }
         Ok(snap[s][idx].clone())
     }
 
@@ -289,11 +492,11 @@ impl Session {
         Ok(out)
     }
 
-    fn global_infos(&self) -> &[AccmInfo] {
+    pub(crate) fn global_infos(&self) -> &[AccmInfo] {
         &self.program.symbols.globals
     }
 
-    fn identity_globals(&self) -> Vec<Value> {
+    pub(crate) fn identity_globals(&self) -> Vec<Value> {
         self.global_infos()
             .iter()
             .map(|g| g.op.identity(g.prim))
@@ -308,16 +511,22 @@ impl Session {
     /// run of the session.
     pub fn run_oneshot(&mut self) -> RunMetrics {
         assert!(!self.ran_oneshot, "one-shot runs once, then apply mutations");
+        if self.is_coordinator() {
+            return self
+                .coordinate_oneshot()
+                .unwrap_or_else(|e| panic!("process transport: {e}"));
+        }
         let t0 = Instant::now();
         let io0 = self.graph.total_io();
         let mut metrics = RunMetrics::new(RunKind::OneShot);
         let prof0 = self.obs.enabled.then(|| self.cfg.obs.profile());
 
-        // Initialize.
+        // Initialize (owned partitions only — replicated non-owned parts
+        // keep empty state and are driven by their owning worker).
         let setup_span = self.obs.setup.clone();
         let setup_g = setup_span.start();
         let n_attr_types: Vec<_> = self.program.symbols.attrs.iter().map(|a| a.ty).collect();
-        for w in 0..self.cfg.machines {
+        for w in self.owned.clone() {
             let n_local = self.parts[w].n_local;
             let mut cols: Vec<ColumnData> = n_attr_types
                 .iter()
@@ -342,11 +551,18 @@ impl Session {
             let sched_span = self.obs.schedule.clone();
             let sched_g = sched_span.start();
             let actives: Vec<Vec<VertexId>> = (0..self.cfg.machines)
-                .map(|w| self.active_vertices(w))
+                .map(|w| {
+                    if self.owned.contains(&w) {
+                        self.active_vertices(w)
+                    } else {
+                        Vec::new()
+                    }
+                })
                 .collect();
             drop(sched_g);
-            let total_active: usize = actives.iter().map(|a| a.len()).sum();
-            metrics.work_units += total_active as u64;
+            let mine: usize = actives.iter().map(|a| a.len()).sum();
+            metrics.work_units += mine as u64;
+            let total_active = self.plane_total_active(s, mine);
             if total_active == 0 || s >= self.cfg.max_supersteps {
                 break;
             }
@@ -354,35 +570,45 @@ impl Session {
             // Traverse phase.
             let trav_span = self.obs.traverse.clone();
             let trav_g = trav_span.start();
+            let owned_list: Vec<usize> = self.owned.clone().collect();
             let outputs: Vec<(AccBuffer, PhaseStats)> = self.run_partition_phase(|sess, w| {
                 sess.oneshot_traverse(w, &actives[w])
             });
             let mut buffers = Vec::with_capacity(outputs.len());
-            for (buf, stats) in outputs {
+            for (&w, (buf, stats)) in owned_list.iter().zip(outputs) {
                 metrics.parallel.record_phase(stats.chunks, &stats.per_worker_units, &stats.per_worker_ns);
-                buffers.push(buf);
+                buffers.push((w, buf));
             }
             drop(trav_g);
 
             // Exchange with partial pre-aggregation.
             let exch_span = self.obs.exchange.clone();
             let exch_g = exch_span.start();
-            let (inbox, global_contrib) = self.exchange(buffers);
+            let (inbox, global_contrib) = self.exchange(buffers, false);
             drop(exch_g);
 
             // Accumulate + record + Update.
             let upd_span = self.obs.update.clone();
             let upd_g = upd_span.start();
-            let mut globals_s = self.identity_globals();
-            for (g, c) in global_contrib.iter().enumerate() {
-                let info = &self.global_infos()[g];
-                globals_s[g] = info.op.combine(&globals_s[g], &c.folded, info.prim);
-                if let Some(m) = &c.monoid {
-                    globals_s[g] = info.op.combine(&globals_s[g], &m.value, info.prim);
+            let globals_s = match global_contrib {
+                Some(gc) => {
+                    let mut globals_s = self.identity_globals();
+                    for (g, c) in gc.iter().enumerate() {
+                        let info = &self.global_infos()[g];
+                        globals_s[g] = info.op.combine(&globals_s[g], &c.folded, info.prim);
+                        if let Some(m) = &c.monoid {
+                            globals_s[g] = info.op.combine(&globals_s[g], &m.value, info.prim);
+                        }
+                    }
+                    globals_s
                 }
-            }
-            for (w, inbox_w) in inbox.iter().enumerate() {
-                self.oneshot_apply_and_update(w, s, inbox_w, &globals_s);
+                None => match self.worker_recv_ctrl() {
+                    Payload::GlobalsFinal { values, .. } => values,
+                    other => panic!("expected GlobalsFinal, got {}", other.kind()),
+                },
+            };
+            for w in self.owned.clone() {
+                self.oneshot_apply_and_update(w, s, &inbox[w], &globals_s);
             }
             drop(upd_g);
             snapshot_globals.push(globals_s);
@@ -644,43 +870,125 @@ impl Session {
         }
     }
 
-    /// Route contributions to their owners (partial pre-aggregation has
-    /// already folded per-target within each sender).
+    /// Route contributions to their owners through the transport plane
+    /// (partial pre-aggregation has already folded per-target within each
+    /// sender). Each `(sender, buffer)` pair produces at most one
+    /// [`Payload::Contribs`] frame per destination machine, plus exactly one
+    /// [`Payload::GlobalsPartial`] to the coordinator. Net bytes are charged
+    /// to the sender exactly as the pre-transport exchange did: per
+    /// contribution wire size when `owner != sender`, and per global partial
+    /// whenever it is non-identity.
+    ///
+    /// Returns the merged per-machine inbox and — on the local plane and
+    /// the coordinator — the fully reduced global contributions. Workers get
+    /// `None` and must await the coordinator's [`Payload::GlobalsFinal`].
+    ///
+    /// With `globals_only` (the global-recompute path), vertex frames are
+    /// suppressed after charging: only the global partials travel.
     fn exchange(
-        &self,
-        buffers: Vec<AccBuffer>,
-    ) -> (Vec<Vec<FxHashMap<VertexId, Contribution>>>, Vec<Contribution>) {
+        &mut self,
+        buffers: Vec<(usize, AccBuffer)>,
+        globals_only: bool,
+    ) -> (ExchangeInbox, Option<Vec<Contribution>>) {
         let m = self.cfg.machines;
         let n_accms = self.layout.num_accms();
-        let mut inbox: Vec<Vec<FxHashMap<VertexId, Contribution>>> =
-            (0..m).map(|_| (0..n_accms).map(|_| FxHashMap::default()).collect()).collect();
-        let mut globals: Vec<Contribution> = self
-            .global_infos()
-            .iter()
-            .map(|g| Contribution::identity(g.op, g.prim))
-            .collect();
-        for (w, buf) in buffers.into_iter().enumerate() {
+        for (w, buf) in buffers {
+            // Route this sender's vertex contributions per destination.
+            let mut outgoing: Vec<Vec<Vec<(VertexId, Contribution)>>> =
+                (0..m).map(|_| (0..n_accms).map(|_| Vec::new()).collect()).collect();
             for (a, map) in buf.vertex.into_iter().enumerate() {
-                let info = &self.program.symbols.accms[a];
                 for (v, c) in map {
                     let owner = self.graph.owner(v);
                     if owner != w {
                         self.graph.partitions[w].stats.add_net(c.wire_bytes());
                     }
-                    inbox[owner][a]
+                    outgoing[owner][a].push((v, c));
+                }
+            }
+            for c in buf.globals.iter() {
+                if c.count != 0 || !c.retractions.is_empty() {
+                    self.graph.partitions[w].stats.add_net(c.wire_bytes());
+                }
+            }
+            let transport = self.transport_mut();
+            if !globals_only {
+                for (dst, vertex) in outgoing.into_iter().enumerate() {
+                    if vertex.iter().all(|per_accm| per_accm.is_empty()) {
+                        continue;
+                    }
+                    transport
+                        .send(dst, Payload::Contribs { from: w as u32, vertex })
+                        .expect("exchange send");
+                }
+            }
+            // The global partial always travels — even when identity — so
+            // the coordinator's reduction folds a fixed machine set in a
+            // fixed order (exact float-fold replay of the local plane).
+            transport
+                .send(
+                    COORD,
+                    Payload::GlobalsPartial {
+                        from: w as u32,
+                        globals: buf.globals,
+                    },
+                )
+                .expect("exchange globals send");
+        }
+
+        self.barrier_seq += 1;
+        let seq = self.barrier_seq;
+        self.transport_mut().barrier(seq).expect("superstep barrier");
+        let frames = self.transport_mut().drain_inbox();
+
+        let mut inbox: ExchangeInbox =
+            (0..m).map(|_| (0..n_accms).map(|_| FxHashMap::default()).collect()).collect();
+        let mut contrib_frames: Vec<ContribFrame> = Vec::new();
+        let mut partials: Vec<(u32, Vec<Contribution>)> = Vec::new();
+        for (dst, payload) in frames {
+            match payload {
+                Payload::Contribs { from, vertex } => contrib_frames.push((dst, from, vertex)),
+                Payload::GlobalsPartial { from, globals } if dst == COORD => {
+                    partials.push((from, globals));
+                }
+                other => panic!("unexpected payload in exchange inbox: {}", other.kind()),
+            }
+        }
+        // Merge frames in ascending sender order: one frame per
+        // (sender, dst) pair, each frame's list in the sender's map
+        // iteration order, replays the pre-transport insertion sequence.
+        contrib_frames.sort_by_key(|&(_, from, _)| from);
+        for (dst, _, vertex) in contrib_frames {
+            for (a, list) in vertex.into_iter().enumerate() {
+                let info = &self.program.symbols.accms[a];
+                for (v, c) in list {
+                    inbox[dst][a]
                         .entry(v)
                         .or_insert_with(|| Contribution::identity(info.op, info.prim))
                         .merge(&c, info.op, info.prim);
                 }
             }
-            for (g, c) in buf.globals.into_iter().enumerate() {
-                let info = &self.global_infos()[g];
-                if c.count != 0 || !c.retractions.is_empty() {
-                    self.graph.partitions[w].stats.add_net(c.wire_bytes());
-                }
-                globals[g].merge(&c, info.op, info.prim);
-            }
         }
+        let globals = match &self.plane {
+            Plane::Worker(_) => {
+                debug_assert!(partials.is_empty(), "workers never see global partials");
+                None
+            }
+            _ => {
+                partials.sort_by_key(|&(from, _)| from);
+                let mut out: Vec<Contribution> = self
+                    .global_infos()
+                    .iter()
+                    .map(|g| Contribution::identity(g.op, g.prim))
+                    .collect();
+                for (_, gs) in partials {
+                    for (g, c) in gs.into_iter().enumerate() {
+                        let info = &self.global_infos()[g];
+                        out[g].merge(&c, info.op, info.prim);
+                    }
+                }
+                Some(out)
+            }
+        };
         (inbox, globals)
     }
 
@@ -758,15 +1066,18 @@ impl Session {
         drop(update_globals); // one-shot Update global accumulation folds below
     }
 
-    /// Run a per-partition phase, optionally in parallel worker threads.
+    /// Run a per-partition phase over this session's owned machines,
+    /// optionally in parallel worker threads.
     fn run_partition_phase<R: Send>(
         &self,
         f: impl Fn(&Session, usize) -> R + Sync,
     ) -> Vec<R> {
-        if self.cfg.parallel && self.cfg.machines > 1 {
+        let owned: Vec<usize> = self.owned.clone().collect();
+        if self.cfg.parallel && owned.len() > 1 {
             crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = (0..self.cfg.machines)
-                    .map(|w| {
+                let handles: Vec<_> = owned
+                    .iter()
+                    .map(|&w| {
                         let f = &f;
                         scope.spawn(move |_| f(self, w))
                     })
@@ -775,7 +1086,7 @@ impl Session {
             })
             .unwrap()
         } else {
-            (0..self.cfg.machines).map(|w| f(self, w)).collect()
+            owned.into_iter().map(|w| f(self, w)).collect()
         }
     }
 
@@ -783,8 +1094,14 @@ impl Session {
     // Mutation ingestion and incremental execution (P_ΔQ).
     // ---------------------------------------------------------------
 
-    /// Apply a mutation batch, advancing to the next snapshot.
+    /// Apply a mutation batch, advancing to the next snapshot. On a
+    /// coordinator the batch is also shipped to every partition worker so
+    /// all replicas ingest the same ΔG_t.
     pub fn apply_mutations(&mut self, batch: &MutationBatch) {
+        if let Plane::Coordinator(t) = &mut self.plane {
+            t.broadcast(&Payload::Mutations(batch.clone()))
+                .expect("broadcast mutations");
+        }
         self.graph.apply_batch(batch);
         // Grow per-partition state to the new vertex space.
         let identity_row: Vec<Value> = {
@@ -852,6 +1169,9 @@ impl Session {
                     .into(),
             ));
         }
+        if self.is_coordinator() {
+            return self.coordinate_incremental();
+        }
         let t0 = Instant::now();
         let io0 = self.graph.total_io();
         let mut metrics = RunMetrics::new(RunKind::Incremental);
@@ -863,7 +1183,7 @@ impl Session {
         let setup_g = setup_span.start();
         let attr_types: Vec<_> = self.program.symbols.attrs.iter().map(|a| a.ty).collect();
         let n_old = self.graph.num_vertices_old();
-        for w in 0..self.cfg.machines {
+        for w in self.owned.clone() {
             let part = &mut self.parts[w];
             let mut prev = part.attr_store.materialize_init();
             part.attr_store.load_superstep_before(0, t, &mut prev);
@@ -902,7 +1222,8 @@ impl Session {
         let mut s = 0usize;
         let debug = std::env::var_os("ITG_DEBUG").is_some();
         loop {
-            let total_changed: usize = self.parts.iter().map(|p| p.changed.len()).sum();
+            let total_changed: usize =
+                self.owned.clone().map(|w| self.parts[w].changed.len()).sum();
             metrics.work_units += total_changed as u64;
             if debug {
                 eprintln!(
@@ -914,7 +1235,7 @@ impl Session {
             // Advance accumulator prev/cur arrays to superstep s.
             let adv_span = self.obs.store_advance.clone();
             let adv_g = adv_span.start();
-            for w in 0..self.cfg.machines {
+            for w in self.owned.clone() {
                 let part = &mut self.parts[w];
                 let mut prev = self.layout.identity_columns(part.n_local);
                 part.accm_store.load_superstep_before(s, t, &mut prev);
@@ -928,15 +1249,16 @@ impl Session {
             let trav_g = trav_span.start();
             let outputs: Vec<(AccBuffer, PhaseStats)> =
                 self.run_partition_phase(|sess, w| sess.delta_traverse(w, &pruning));
+            let owned_list: Vec<usize> = self.owned.clone().collect();
             let mut buffers = Vec::with_capacity(outputs.len());
-            for (buf, stats) in outputs {
+            for (&w, (buf, stats)) in owned_list.iter().zip(outputs) {
                 metrics.parallel.record_phase(stats.chunks, &stats.per_worker_units, &stats.per_worker_ns);
-                buffers.push(buf);
+                buffers.push((w, buf));
             }
             drop(trav_g);
             let exch_span = self.obs.exchange.clone();
             let exch_g = exch_span.start();
-            let (inbox, global_contrib) = self.exchange(buffers);
+            let (inbox, global_contrib) = self.exchange(buffers, false);
             drop(exch_g);
 
             // Apply deltas onto accumulator state; collect recomputes.
@@ -946,7 +1268,7 @@ impl Session {
                 (0..self.layout.num_accms()).map(|_| FxHashSet::default()).collect();
             let mut changed_accm: Vec<FxHashSet<VertexId>> =
                 (0..self.cfg.machines).map(|_| FxHashSet::default()).collect();
-            for w in 0..self.cfg.machines {
+            for w in self.owned.clone() {
                 let layout = self.layout.clone();
                 let use_cnt = self.cfg.opts.min_count;
                 let part = &mut self.parts[w];
@@ -971,6 +1293,9 @@ impl Session {
 
             // Monoid recomputation (paper §5.4): reset and re-derive the
             // affected accumulators from a pruned one-shot enumeration.
+            // Agree on the global recompute set first — every worker must
+            // enter (or skip) the recompute exchange in lockstep.
+            let recompute = self.plane_union_recompute(recompute);
             let n_recompute: usize = recompute.iter().map(|r| r.len()).sum();
             if n_recompute > 0 {
                 metrics.recomputed_vertices += n_recompute as u64;
@@ -985,6 +1310,9 @@ impl Session {
             let accm_span = self.obs.accumulate.clone();
             let accm_g = accm_span.start();
             for (w, changed) in changed_accm.iter().enumerate() {
+                if !self.owned.contains(&w) {
+                    continue;
+                }
                 let layout_types = self.layout.column_types();
                 let mut rows: Vec<VertexId> = changed.iter().copied().collect();
                 rows.sort_unstable();
@@ -997,28 +1325,48 @@ impl Session {
             drop(accm_g);
 
             // Globals: fold the delta into the previous snapshot's value.
+            // Workers instead follow the coordinator's recompute decision
+            // (so the globals exchange happens in lockstep) and adopt its
+            // reduced final values.
             let glob_span = self.obs.globals.clone();
             let glob_g = glob_span.start();
-            let prev_globals: Vec<Value> = self
-                .globals_history
-                .get(t - 1)
-                .and_then(|gh| gh.get(s))
-                .cloned()
-                .unwrap_or_else(|| self.identity_globals());
-            let mut globals_s = prev_globals.clone();
-            let mut needs_global_recompute = false;
-            for (g, c) in global_contrib.iter().enumerate() {
-                let info = &self.global_infos()[g];
-                if info.op.is_group() && c.retractions.is_empty() {
-                    globals_s[g] = info.op.combine(&globals_s[g], &c.folded, info.prim);
-                } else if c.count != 0 || !c.retractions.is_empty() || c.monoid.is_some() {
-                    needs_global_recompute = true;
+            let (globals_s, globals_changed) = match global_contrib {
+                Some(gc) => {
+                    let prev_globals: Vec<Value> = self
+                        .globals_history
+                        .get(t - 1)
+                        .and_then(|gh| gh.get(s))
+                        .cloned()
+                        .unwrap_or_else(|| self.identity_globals());
+                    let mut globals_s = prev_globals.clone();
+                    let mut needs_global_recompute = false;
+                    for (g, c) in gc.iter().enumerate() {
+                        let info = &self.global_infos()[g];
+                        if info.op.is_group() && c.retractions.is_empty() {
+                            globals_s[g] = info.op.combine(&globals_s[g], &c.folded, info.prim);
+                        } else if c.count != 0 || !c.retractions.is_empty() || c.monoid.is_some() {
+                            needs_global_recompute = true;
+                        }
+                    }
+                    if needs_global_recompute {
+                        globals_s = self.recompute_globals(&mut metrics.parallel);
+                    }
+                    let changed = globals_s != prev_globals;
+                    (globals_s, changed)
                 }
-            }
-            if needs_global_recompute {
-                globals_s = self.recompute_globals(&mut metrics.parallel);
-            }
-            let globals_changed = globals_s != prev_globals;
+                None => match self.worker_recv_ctrl() {
+                    Payload::GlobalsDecision { recompute } => {
+                        if recompute {
+                            let _ = self.recompute_globals(&mut metrics.parallel);
+                        }
+                        match self.worker_recv_ctrl() {
+                            Payload::GlobalsFinal { values, changed } => (values, changed),
+                            other => panic!("expected GlobalsFinal, got {}", other.kind()),
+                        }
+                    }
+                    other => panic!("expected GlobalsDecision, got {}", other.kind()),
+                },
+            };
             drop(glob_g);
 
             // ΔUpdate.
@@ -1035,11 +1383,14 @@ impl Session {
             s += 1;
             let sched_span = self.obs.schedule.clone();
             let sched_g = sched_span.start();
-            let active: usize = (0..self.cfg.machines)
+            let mine: usize = self
+                .owned
+                .clone()
                 .map(|w| self.active_vertices(w).len())
                 .sum();
             drop(sched_g);
-            if (s >= prev_k && active == 0) || s >= self.cfg.max_supersteps {
+            let total = self.plane_total_active(s, mine);
+            if (s >= prev_k && total == 0) || s >= self.cfg.max_supersteps {
                 break;
             }
         }
@@ -1330,10 +1681,14 @@ impl Session {
         changed_accm: &mut [FxHashSet<VertexId>],
     ) {
         let layout = self.layout.clone();
-        // Reset affected rows.
+        // Reset affected rows (owned only — the recompute set is the
+        // cluster-wide union, but non-owned replicas carry no state).
         for (a, set) in recompute.iter().enumerate() {
             for &v in set {
                 let w = self.graph.owner(v);
+                if !self.owned.contains(&w) {
+                    continue;
+                }
                 let l = self.graph.local_index(v);
                 reset_state(&layout, &mut self.parts[w].cur_accm, l, a);
                 self.graph.partitions[w].stats.add_recomputation();
@@ -1360,6 +1715,9 @@ impl Session {
                     let v_re = levels.start_candidates();
                     for &start in v_re {
                         let w = self.graph.owner(start);
+                        if !self.owned.contains(&w) {
+                            continue;
+                        }
                         let l = self.graph.local_index(start);
                         if self.parts[w].cur_attrs[0].get(l) != Value::Bool(true) {
                             continue;
@@ -1390,7 +1748,12 @@ impl Session {
                 }
             }
         }
-        let (inbox, _globals) = self.exchange(buffers);
+        let owned_buffers: Vec<(usize, AccBuffer)> = buffers
+            .into_iter()
+            .enumerate()
+            .filter(|(w, _)| self.owned.contains(w))
+            .collect();
+        let (inbox, _globals) = self.exchange(owned_buffers, false);
         for (w, inbox_w) in inbox.iter().enumerate() {
             let part = &mut self.parts[w];
             for (a, map) in inbox_w.iter().enumerate() {
@@ -1406,6 +1769,9 @@ impl Session {
         for set in recompute.iter() {
             for &v in set {
                 let w = self.graph.owner(v);
+                if !self.owned.contains(&w) {
+                    continue;
+                }
                 let l = self.graph.local_index(v);
                 let differs = (0..layout.num_cols).any(|c| {
                     self.parts[w].cur_accm[c].get(l) != self.parts[w].prev_accm[c].get(l)
@@ -1420,24 +1786,29 @@ impl Session {
     }
 
     /// Recompute global accumulators by re-running the traverse for global
-    /// actions only (the fallback for monoid globals under deletions).
-    fn recompute_globals(&self, par: &mut ParallelMetrics) -> Vec<Value> {
+    /// actions only (the fallback for monoid globals under deletions). On
+    /// a worker plane the returned values are identities — the reduced
+    /// result arrives from the coordinator as [`Payload::GlobalsFinal`].
+    fn recompute_globals(&mut self, par: &mut ParallelMetrics) -> Vec<Value> {
         let outputs: Vec<(AccBuffer, PhaseStats)> = self.run_partition_phase(|sess, w| {
             let actives = sess.active_vertices(w);
             sess.oneshot_traverse(w, &actives)
         });
+        let owned_list: Vec<usize> = self.owned.clone().collect();
         let mut buffers = Vec::with_capacity(outputs.len());
-        for (buf, stats) in outputs {
+        for (&w, (buf, stats)) in owned_list.iter().zip(outputs) {
             par.record_phase(stats.chunks, &stats.per_worker_units, &stats.per_worker_ns);
-            buffers.push(buf);
+            buffers.push((w, buf));
         }
-        let (_inbox, globals) = self.exchange(buffers);
+        let (_inbox, globals) = self.exchange(buffers, true);
         let mut out = self.identity_globals();
-        for (g, c) in globals.iter().enumerate() {
-            let info = &self.global_infos()[g];
-            out[g] = info.op.combine(&out[g], &c.folded, info.prim);
-            if let Some(m) = &c.monoid {
-                out[g] = info.op.combine(&out[g], &m.value, info.prim);
+        if let Some(globals) = globals {
+            for (g, c) in globals.iter().enumerate() {
+                let info = &self.global_infos()[g];
+                out[g] = info.op.combine(&out[g], &c.folded, info.prim);
+                if let Some(m) = &c.monoid {
+                    out[g] = info.op.combine(&out[g], &m.value, info.prim);
+                }
             }
         }
         out
@@ -1460,6 +1831,10 @@ impl Session {
         let analysis = self.program.analysis;
         let mut result = Vec::with_capacity(self.cfg.machines);
         for (w, changed_accm_w) in changed_accm.iter().enumerate() {
+            if !self.owned.contains(&w) {
+                result.push(FxHashSet::default());
+                continue;
+            }
             // Advance prev to A_{t-1, s+1}.
             {
                 let part = &mut self.parts[w];
@@ -1580,6 +1955,9 @@ impl Session {
     /// chain the same way the vertex store's merge policy bounds delta
     /// chains.
     pub fn compact_edges(&mut self) {
+        if let Plane::Coordinator(t) = &mut self.plane {
+            t.broadcast(&Payload::Compact).expect("broadcast compact");
+        }
         self.graph.compact();
     }
 }

@@ -1,0 +1,617 @@
+//! The transport abstraction behind superstep message exchange.
+//!
+//! The BSP drivers ([`crate::Session::run_oneshot`],
+//! [`crate::Session::try_run_incremental`]) never move bytes themselves:
+//! every cross-partition payload goes through the [`Transport`] trait —
+//! `send`, `drain_inbox`, `barrier`. Two implementations exist:
+//!
+//! * [`LocalTransport`] — the in-memory loopback used when every partition
+//!   lives in this process (the pre-distribution behaviour, bit-identical
+//!   results and unchanged `net_bytes` accounting).
+//! * [`ProcessTransport`] + [`PipeLink`] — the coordinator and worker ends
+//!   of a star topology over OS pipes: each partition group runs in its own
+//!   `itg-partition-worker` process, the coordinator relays worker↔worker
+//!   frames and owns superstep barriers, global-accumulator reduction, and
+//!   convergence voting (see DESIGN.md §"Distribution").
+//!
+//! Addresses are machine indexes `0..machines`; [`COORD`] addresses the
+//! coordinator endpoint (global partials, frontier votes, run results).
+
+use crate::wire::{
+    decode_payload, read_frame, write_frame, write_frame_bytes, Payload, WireError, DST_COORD,
+    DST_CTRL,
+};
+use std::collections::VecDeque;
+use std::io::Write;
+use std::ops::Range;
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc;
+
+/// The `dst` value addressing the coordinator instead of a machine.
+pub const COORD: usize = DST_COORD as usize;
+
+/// Which transport a [`crate::Session`] exchanges messages over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// All partitions in this process; exchange is an in-memory loopback.
+    #[default]
+    Local,
+    /// Partition groups in separate OS processes. `workers = 0` means one
+    /// process per machine; otherwise machines are split into `workers`
+    /// contiguous groups.
+    Process { workers: usize },
+}
+
+/// Transport-layer failures (IO, worker lifecycle, protocol violations).
+/// Byte-level decode failures are wrapped [`WireError`]s.
+#[derive(Debug)]
+pub enum TransportError {
+    Io(std::io::Error),
+    Wire(WireError),
+    /// A worker process closed its pipe before the protocol finished.
+    WorkerExited { rank: usize },
+    /// The `itg-partition-worker` binary could not be located (see
+    /// [`find_worker_binary`]).
+    WorkerBinaryNotFound,
+    /// Spawning a worker process failed.
+    Spawn(std::io::Error),
+    /// A payload arrived that the protocol state machine cannot accept.
+    Protocol(String),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "transport IO error: {e}"),
+            TransportError::Wire(e) => write!(f, "transport decode error: {e}"),
+            TransportError::WorkerExited { rank } => {
+                write!(f, "partition worker {rank} exited unexpectedly")
+            }
+            TransportError::WorkerBinaryNotFound => write!(
+                f,
+                "itg-partition-worker binary not found (set ITG_WORKER_BIN or \
+                 build the workspace binaries)"
+            ),
+            TransportError::Spawn(e) => write!(f, "failed to spawn partition worker: {e}"),
+            TransportError::Protocol(msg) => write!(f, "transport protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> TransportError {
+        TransportError::Io(e)
+    }
+}
+
+impl From<WireError> for TransportError {
+    fn from(e: WireError) -> TransportError {
+        TransportError::Wire(e)
+    }
+}
+
+/// Superstep message exchange. One exchange round is: every participant
+/// `send`s its outgoing payloads, enters `barrier(seq)` (sequence numbers
+/// increase monotonically and are agreed by construction — both sides run
+/// the same driver), and then `drain_inbox`es the payloads addressed to the
+/// machines it owns.
+///
+/// `drain_inbox` returns `(dst_machine, payload)` pairs in arrival order;
+/// for [`LocalTransport`] that is exactly send order, which the engine
+/// relies on to replay the pre-distribution merge sequence bit-for-bit.
+pub trait Transport: Send + Sync {
+    fn send(&mut self, dst: usize, payload: Payload) -> Result<(), TransportError>;
+    fn drain_inbox(&mut self) -> Vec<(usize, Payload)>;
+    fn barrier(&mut self, seq: u64) -> Result<(), TransportError>;
+}
+
+// ---------------------------------------------------------------
+// LocalTransport.
+// ---------------------------------------------------------------
+
+/// In-memory loopback: every `send` lands directly in the local inbox, the
+/// barrier is a no-op (all partitions advance in lockstep inside one
+/// driver loop). This is the pre-distribution exchange path, now behind
+/// the trait; it doubles as the test double the cross-transport
+/// equivalence suite compares [`ProcessTransport`] against.
+pub struct LocalTransport {
+    inbox: Vec<(usize, Payload)>,
+    msgs: itg_obs::CounterHandle,
+}
+
+impl LocalTransport {
+    pub fn new(rec: &itg_obs::Recorder) -> LocalTransport {
+        LocalTransport {
+            inbox: Vec::new(),
+            msgs: rec.counter("net/messages"),
+        }
+    }
+}
+
+impl Transport for LocalTransport {
+    fn send(&mut self, dst: usize, payload: Payload) -> Result<(), TransportError> {
+        self.msgs.add(1);
+        self.inbox.push((dst, payload));
+        Ok(())
+    }
+
+    fn drain_inbox(&mut self) -> Vec<(usize, Payload)> {
+        std::mem::take(&mut self.inbox)
+    }
+
+    fn barrier(&mut self, _seq: u64) -> Result<(), TransportError> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------
+// Machine-range partitioning.
+// ---------------------------------------------------------------
+
+/// The contiguous machine range driven by worker `rank` when `machines`
+/// machines are split across `workers` processes: `⌈machines/workers⌉` per
+/// worker, the last worker possibly short.
+pub fn partition_range(machines: usize, workers: usize, rank: usize) -> Range<usize> {
+    let per = machines.div_ceil(workers);
+    (rank * per).min(machines)..((rank + 1) * per).min(machines)
+}
+
+/// How many worker processes `TransportKind::Process { workers }` resolves
+/// to for a given machine count (`workers = 0` → one per machine; always
+/// clamped to `machines`).
+pub fn resolve_workers(machines: usize, workers: usize) -> usize {
+    if workers == 0 {
+        machines
+    } else {
+        workers.min(machines).max(1)
+    }
+}
+
+/// Locate the `itg-partition-worker` binary: the `ITG_WORKER_BIN`
+/// environment variable wins; otherwise search the directory containing
+/// the current executable and its parent (covers both `target/<profile>/`
+/// binaries and `target/<profile>/deps/` test executables).
+pub fn find_worker_binary() -> Option<PathBuf> {
+    if let Ok(path) = std::env::var("ITG_WORKER_BIN") {
+        if !path.is_empty() {
+            return Some(PathBuf::from(path));
+        }
+    }
+    let name = format!("itg-partition-worker{}", std::env::consts::EXE_SUFFIX);
+    let exe = std::env::current_exe().ok()?;
+    let dir = exe.parent()?;
+    for d in [Some(dir), dir.parent()] {
+        let candidate = d?.join(&name);
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------
+// PipeLink: the worker end.
+// ---------------------------------------------------------------
+
+/// A worker process's link to the coordinator over its own stdin/stdout.
+///
+/// Frames addressed to machines this worker owns short-circuit into the
+/// local inbox without touching the pipe (they would only be relayed
+/// straight back); everything else is written out for the coordinator to
+/// relay. `barrier` writes a [`Payload::BarrierAck`] and then blocks
+/// reading stdin until the matching [`Payload::Barrier`] release arrives —
+/// data frames relayed in the meantime are filed into the inbox, control
+/// payloads into a queue served by [`PipeLink::recv_ctrl`].
+pub struct PipeLink {
+    rank: u32,
+    owned: Range<usize>,
+    inbox: Vec<(usize, Payload)>,
+    ctrl: VecDeque<Payload>,
+    msgs: itg_obs::CounterHandle,
+    barrier_wait: itg_obs::SpanHandle,
+}
+
+impl PipeLink {
+    pub fn new(rank: u32, owned: Range<usize>, rec: &itg_obs::Recorder) -> PipeLink {
+        PipeLink {
+            rank,
+            owned,
+            inbox: Vec::new(),
+            ctrl: VecDeque::new(),
+            msgs: rec.counter("net/messages"),
+            barrier_wait: rec.span("net/barrier_wait"),
+        }
+    }
+
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    pub fn owned(&self) -> Range<usize> {
+        self.owned.clone()
+    }
+
+    fn write(&mut self, dst: u16, payload: &Payload) -> Result<(), TransportError> {
+        let stdout = std::io::stdout();
+        write_frame(&mut stdout.lock(), dst, payload)?;
+        Ok(())
+    }
+
+    /// Read one frame from the coordinator; machine-addressed frames are
+    /// filed into the inbox, control frames are returned.
+    fn pump_ctrl(&mut self) -> Result<Payload, TransportError> {
+        loop {
+            let stdin = std::io::stdin();
+            let frame = read_frame(&mut stdin.lock())?;
+            let Some((dst, body)) = frame else {
+                return Err(TransportError::Protocol(
+                    "coordinator closed the pipe mid-protocol".into(),
+                ));
+            };
+            if dst == DST_CTRL {
+                return Ok(decode_payload(&body)?);
+            }
+            let dst = dst as usize;
+            if self.owned.contains(&dst) {
+                self.inbox.push((dst, decode_payload(&body)?));
+            } else {
+                return Err(TransportError::Protocol(format!(
+                    "frame for machine {dst} delivered to worker {} owning {:?}",
+                    self.rank, self.owned
+                )));
+            }
+        }
+    }
+
+    /// The next control payload from the coordinator (a queued one if the
+    /// barrier loop already read past it).
+    pub fn recv_ctrl(&mut self) -> Result<Payload, TransportError> {
+        if let Some(p) = self.ctrl.pop_front() {
+            return Ok(p);
+        }
+        self.pump_ctrl()
+    }
+}
+
+impl Transport for PipeLink {
+    fn send(&mut self, dst: usize, payload: Payload) -> Result<(), TransportError> {
+        self.msgs.add(1);
+        if dst == COORD {
+            self.write(DST_COORD, &payload)
+        } else if self.owned.contains(&dst) {
+            self.inbox.push((dst, payload));
+            Ok(())
+        } else {
+            self.write(dst as u16, &payload)
+        }
+    }
+
+    fn drain_inbox(&mut self) -> Vec<(usize, Payload)> {
+        std::mem::take(&mut self.inbox)
+    }
+
+    fn barrier(&mut self, seq: u64) -> Result<(), TransportError> {
+        self.write(DST_COORD, &Payload::BarrierAck { from: self.rank, seq })?;
+        let timing = self.barrier_wait.is_enabled();
+        let start = timing.then(std::time::Instant::now);
+        loop {
+            match self.pump_ctrl()? {
+                Payload::Barrier { seq: s } if s == seq => {
+                    if let Some(start) = start {
+                        self.barrier_wait.record(1, start.elapsed().as_nanos() as u64);
+                    }
+                    return Ok(());
+                }
+                Payload::Barrier { seq: s } => {
+                    return Err(TransportError::Protocol(format!(
+                        "barrier release {s} while waiting for {seq}"
+                    )));
+                }
+                other => self.ctrl.push_back(other),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// ProcessTransport: the coordinator end.
+// ---------------------------------------------------------------
+
+/// Sentinel a reader thread emits when its worker's stdout reaches EOF.
+const RANK_EOF: u16 = DST_CTRL;
+
+/// The coordinator's hub of worker processes.
+///
+/// One `itg-partition-worker` child per rank, each with a piped
+/// stdin/stdout (stderr inherited). A reader thread per child feeds every
+/// incoming frame — still encoded — into one mpsc channel; the coordinator
+/// relays machine-addressed frames to the owning worker's stdin without
+/// re-encoding and decodes coordinator-addressed frames into a queue
+/// served by [`ProcessTransport::recv_coord`].
+pub struct ProcessTransport {
+    children: Vec<Child>,
+    stdins: Vec<std::io::BufWriter<ChildStdin>>,
+    // Mutex-wrapped solely for `Sync` (the session is shared across scoped
+    // threads during partition phases); the coordinator is the only reader.
+    rx: std::sync::Mutex<mpsc::Receiver<(usize, u16, Vec<u8>)>>,
+    readers: Vec<std::thread::JoinHandle<()>>,
+    coord: VecDeque<(usize, Payload)>,
+    machines: usize,
+    workers: usize,
+    msgs: itg_obs::CounterHandle,
+    barrier_wait: itg_obs::SpanHandle,
+}
+
+impl ProcessTransport {
+    /// Spawn `workers` worker processes for a `machines`-machine cluster.
+    /// The caller bootstraps them afterwards (program source, graph image,
+    /// config) via [`ProcessTransport::send_ctrl`].
+    pub fn spawn(
+        machines: usize,
+        workers: usize,
+        rec: &itg_obs::Recorder,
+    ) -> Result<ProcessTransport, TransportError> {
+        let workers = resolve_workers(machines, workers);
+        let bin = find_worker_binary().ok_or(TransportError::WorkerBinaryNotFound)?;
+        let (tx, rx) = mpsc::channel();
+        let mut children = Vec::with_capacity(workers);
+        let mut stdins = Vec::with_capacity(workers);
+        let mut readers = Vec::with_capacity(workers);
+        for rank in 0..workers {
+            let mut child = Command::new(&bin)
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .map_err(TransportError::Spawn)?;
+            let stdin = child.stdin.take().expect("piped stdin");
+            let mut stdout = child.stdout.take().expect("piped stdout");
+            let tx = tx.clone();
+            readers.push(std::thread::spawn(move || {
+                loop {
+                    match read_frame(&mut stdout) {
+                        Ok(Some((dst, body))) => {
+                            if tx.send((rank, dst, body)).is_err() {
+                                return;
+                            }
+                        }
+                        // EOF (clean or not): emit the sentinel so a
+                        // coordinator blocked on this worker fails fast
+                        // instead of hanging.
+                        Ok(None) | Err(_) => {
+                            let _ = tx.send((rank, RANK_EOF, Vec::new()));
+                            return;
+                        }
+                    }
+                }
+            }));
+            stdins.push(std::io::BufWriter::new(stdin));
+            children.push(child);
+        }
+        Ok(ProcessTransport {
+            children,
+            stdins,
+            rx: std::sync::Mutex::new(rx),
+            readers,
+            coord: VecDeque::new(),
+            machines,
+            workers,
+            msgs: rec.counter("net/messages"),
+            barrier_wait: rec.span("net/barrier_wait"),
+        })
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    pub fn rank_of(&self, machine: usize) -> usize {
+        let per = self.machines.div_ceil(self.workers);
+        machine / per
+    }
+
+    /// The machine range worker `rank` drives.
+    pub fn owned_range(&self, rank: usize) -> Range<usize> {
+        partition_range(self.machines, self.workers, rank)
+    }
+
+    /// Send a control payload to one worker.
+    pub fn send_ctrl(&mut self, rank: usize, payload: &Payload) -> Result<(), TransportError> {
+        self.msgs.add(1);
+        write_frame(&mut self.stdins[rank], DST_CTRL, payload)?;
+        Ok(())
+    }
+
+    /// Send a control payload to every worker.
+    pub fn broadcast(&mut self, payload: &Payload) -> Result<(), TransportError> {
+        for rank in 0..self.workers {
+            self.send_ctrl(rank, payload)?;
+        }
+        Ok(())
+    }
+
+    /// Blocking receive of the next coordinator-addressed payload, relaying
+    /// any machine-addressed frames encountered along the way.
+    pub fn recv_coord(&mut self) -> Result<(usize, Payload), TransportError> {
+        if let Some(item) = self.coord.pop_front() {
+            return Ok(item);
+        }
+        loop {
+            let (rank, dst, body) = self
+                .rx
+                .lock()
+                .expect("reader channel lock")
+                .recv()
+                .map_err(|_| TransportError::Protocol("all reader threads exited".into()))?;
+            if dst == RANK_EOF {
+                return Err(TransportError::WorkerExited { rank });
+            }
+            if dst == DST_COORD {
+                return Ok((rank, decode_payload(&body)?));
+            }
+            let machine = dst as usize;
+            if machine >= self.machines {
+                return Err(TransportError::Protocol(format!(
+                    "frame from worker {rank} addressed to unknown machine {machine}"
+                )));
+            }
+            let owner = self.rank_of(machine);
+            write_frame_bytes(&mut self.stdins[owner], dst, &body)?;
+        }
+    }
+
+    /// Pop `n` queued/incoming coordinator payloads (arrival order).
+    pub fn recv_coord_n(&mut self, n: usize) -> Result<Vec<(usize, Payload)>, TransportError> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.recv_coord()?);
+        }
+        Ok(out)
+    }
+
+    /// One barrier round: collect every worker's [`Payload::BarrierAck`]
+    /// for `seq` — relaying data frames and queueing other
+    /// coordinator-addressed payloads (global partials) as they arrive —
+    /// then broadcast the [`Payload::Barrier`] release. Per-worker pipe
+    /// FIFO guarantees all of a worker's data frames for the round precede
+    /// its ack, so once the release is sent, delivery is complete.
+    pub fn barrier_round(&mut self, seq: u64) -> Result<(), TransportError> {
+        let timing = self.barrier_wait.is_enabled();
+        let start = timing.then(std::time::Instant::now);
+        let mut acked = vec![false; self.workers];
+        let mut pending = self.workers;
+        // Drain already-queued payloads first in case an ack was read
+        // during an earlier round. Non-ack payloads (global partials) are
+        // deferred to a side queue — NOT back onto `self.coord`, which
+        // `recv_coord` pops from and would hand the same payload straight
+        // back — and merged once every ack is in.
+        let mut stash = VecDeque::new();
+        std::mem::swap(&mut stash, &mut self.coord);
+        let mut deferred: VecDeque<(usize, Payload)> = VecDeque::new();
+        let mut next = move |this: &mut Self| -> Result<(usize, Payload), TransportError> {
+            if let Some(item) = stash.pop_front() {
+                Ok(item)
+            } else {
+                this.recv_coord()
+            }
+        };
+        while pending > 0 {
+            let (rank, payload) = next(self)?;
+            match payload {
+                Payload::BarrierAck { from, seq: s } if s == seq => {
+                    let from = from as usize;
+                    if from >= self.workers || acked[from] {
+                        return Err(TransportError::Protocol(format!(
+                            "duplicate or out-of-range barrier ack from rank {from}"
+                        )));
+                    }
+                    acked[from] = true;
+                    pending -= 1;
+                }
+                Payload::BarrierAck { from, seq: s } => {
+                    return Err(TransportError::Protocol(format!(
+                        "barrier ack for {s} from rank {from} while collecting {seq}"
+                    )));
+                }
+                other => deferred.push_back((rank, other)),
+            }
+        }
+        // `recv_coord` never pushes onto `self.coord`, so it is still empty
+        // here; the deferred payloads keep their arrival order.
+        debug_assert!(self.coord.is_empty());
+        self.coord = deferred;
+        self.broadcast(&Payload::Barrier { seq })?;
+        if let Some(start) = start {
+            self.barrier_wait.record(1, start.elapsed().as_nanos() as u64);
+        }
+        Ok(())
+    }
+}
+
+impl Transport for ProcessTransport {
+    fn send(&mut self, dst: usize, payload: Payload) -> Result<(), TransportError> {
+        if dst == COORD {
+            return Err(TransportError::Protocol(
+                "coordinator cannot send to itself".into(),
+            ));
+        }
+        self.msgs.add(1);
+        let rank = self.rank_of(dst);
+        write_frame(&mut self.stdins[rank], dst as u16, &payload)?;
+        Ok(())
+    }
+
+    fn drain_inbox(&mut self) -> Vec<(usize, Payload)> {
+        // The coordinator owns no machines; nothing is ever addressed to it
+        // through the machine plane.
+        Vec::new()
+    }
+
+    fn barrier(&mut self, seq: u64) -> Result<(), TransportError> {
+        self.barrier_round(seq)
+    }
+}
+
+impl Drop for ProcessTransport {
+    fn drop(&mut self) {
+        for rank in 0..self.workers {
+            let _ = write_frame(&mut self.stdins[rank], DST_CTRL, &Payload::Shutdown);
+            let _ = self.stdins[rank].flush();
+        }
+        // Closing stdin unblocks any worker still reading.
+        self.stdins.clear();
+        for child in &mut self.children {
+            let _ = child.wait();
+        }
+        for reader in self.readers.drain(..) {
+            let _ = reader.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_transport_preserves_send_order() {
+        let rec = itg_obs::Recorder::enabled();
+        let mut t = LocalTransport::new(&rec);
+        t.send(1, Payload::RunOneshot).unwrap();
+        t.send(0, Payload::Compact).unwrap();
+        t.barrier(1).unwrap();
+        let drained = t.drain_inbox();
+        assert_eq!(
+            drained,
+            vec![(1, Payload::RunOneshot), (0, Payload::Compact)]
+        );
+        assert!(t.drain_inbox().is_empty());
+        assert_eq!(rec.profile().counter_total("net/messages"), 2);
+    }
+
+    #[test]
+    fn partition_ranges_cover_machines_exactly() {
+        for machines in 1..12 {
+            for workers in 1..=machines {
+                let mut covered = Vec::new();
+                for rank in 0..workers {
+                    covered.extend(partition_range(machines, workers, rank));
+                }
+                assert_eq!(covered, (0..machines).collect::<Vec<_>>());
+            }
+        }
+        assert_eq!(partition_range(5, 2, 0), 0..3);
+        assert_eq!(partition_range(5, 2, 1), 3..5);
+    }
+
+    #[test]
+    fn worker_resolution_clamps() {
+        assert_eq!(resolve_workers(4, 0), 4);
+        assert_eq!(resolve_workers(4, 2), 2);
+        assert_eq!(resolve_workers(4, 9), 4);
+        assert_eq!(resolve_workers(1, 0), 1);
+    }
+}

@@ -1,0 +1,1117 @@
+//! Versioned binary wire format for the transport layer (ROADMAP item 1).
+//!
+//! Every byte that crosses a partition boundary in the distributed engine
+//! is a [`Payload`] encoded by this module: pre-aggregated accumulator
+//! contributions, global-accumulator partials, active-set frontiers
+//! (convergence votes and explicit recompute vertex sets), and
+//! mutation-batch shipments — exactly the traffic the simulated cluster
+//! already charges as `net_bytes` (see DESIGN.md §"Distribution" for the
+//! byte-layout table).
+//!
+//! The codec is deliberately boring: little-endian, length-prefixed,
+//! tag-dispatched, with a magic/version header so a coordinator and a
+//! worker built from different trees fail loudly instead of mis-parsing.
+//! Floating-point values are encoded *bitwise* (`to_bits`/`from_bits`),
+//! matching the engine's bitwise [`Value`] equality — a payload that
+//! round-trips is byte-identical, NaNs and signed zeros included.
+//!
+//! Frame layout on a pipe or socket:
+//!
+//! ```text
+//! [len: u32]  [dst: u16]  [magic: u16 = 0xA17B]  [ver: u8 = 1]  [tag: u8]  [body…]
+//!  ^ bytes after len        ^ payload starts here
+//! ```
+//!
+//! `dst` is the destination machine index, [`DST_COORD`] for the
+//! coordinator, or [`DST_CTRL`] for a control message addressed to the
+//! receiving worker process itself.
+
+use crate::accum::Contribution;
+use itg_gsa::accm::CountedAccm;
+use itg_gsa::value::{ColumnData, Value};
+use itg_gsa::VertexId;
+use itg_store::{IoSnapshot, MaintenancePolicy, MutationBatch};
+use std::io::{Read, Write};
+
+/// Wire magic: the first two payload bytes of every frame.
+pub const WIRE_MAGIC: u16 = 0xA17B;
+/// Wire format version; bumped on any layout change.
+pub const WIRE_VERSION: u8 = 1;
+/// Frame destination: the coordinator endpoint.
+pub const DST_COORD: u16 = 0xFFFF;
+/// Frame destination: the receiving worker process itself (control plane).
+pub const DST_CTRL: u16 = 0xFFFE;
+/// Upper bound on a single frame's payload, as a corruption guard.
+pub const MAX_FRAME_BYTES: u32 = 1 << 30;
+
+/// Decode failures. Transport-level IO failures live in
+/// [`crate::transport::TransportError`]; this type covers only the byte
+/// layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value did.
+    Truncated,
+    /// The payload did not start with [`WIRE_MAGIC`].
+    BadMagic(u16),
+    /// The payload's version byte is not [`WIRE_VERSION`].
+    BadVersion(u8),
+    /// An unknown tag byte for the named kind.
+    BadTag { what: &'static str, tag: u8 },
+    /// Bytes remained after a complete payload.
+    Trailing(usize),
+    /// A string field was not valid UTF-8.
+    Utf8,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire payload truncated"),
+            WireError::BadMagic(m) => write!(f, "bad wire magic {m:#06x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadTag { what, tag } => write!(f, "unknown {what} tag {tag}"),
+            WireError::Trailing(n) => write!(f, "{n} trailing bytes after payload"),
+            WireError::Utf8 => write!(f, "invalid UTF-8 in wire string"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+type WireResult<T> = Result<T, WireError>;
+
+// ---------------------------------------------------------------
+// Primitive writer/reader.
+// ---------------------------------------------------------------
+
+/// Append-only little-endian byte writer.
+#[derive(Default)]
+pub struct Writer {
+    pub buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn i8(&mut self, v: i8) {
+        self.buf.push(v as u8);
+    }
+
+    pub fn i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Bitwise float encoding: exact round-trip for every bit pattern.
+    pub fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Cursor over a received payload.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn u8(&mut self) -> WireResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn bool(&mut self) -> WireResult<bool> {
+        Ok(self.u8()? != 0)
+    }
+
+    pub fn u16(&mut self) -> WireResult<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self) -> WireResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> WireResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn i8(&mut self) -> WireResult<i8> {
+        Ok(self.u8()? as i8)
+    }
+
+    pub fn i32(&mut self) -> WireResult<i32> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn i64(&mut self) -> WireResult<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn f32(&mut self) -> WireResult<f32> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    pub fn f64(&mut self) -> WireResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn str(&mut self) -> WireResult<String> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Utf8)
+    }
+
+    /// Assert the payload has been fully consumed.
+    pub fn finish(&self) -> WireResult<()> {
+        if self.remaining() != 0 {
+            return Err(WireError::Trailing(self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------
+// Value / column / contribution codecs.
+// ---------------------------------------------------------------
+
+fn put_value(w: &mut Writer, v: &Value) {
+    match v {
+        Value::Bool(b) => {
+            w.u8(0);
+            w.bool(*b);
+        }
+        Value::Int(x) => {
+            w.u8(1);
+            w.i32(*x);
+        }
+        Value::Long(x) => {
+            w.u8(2);
+            w.i64(*x);
+        }
+        Value::Float(x) => {
+            w.u8(3);
+            w.f32(*x);
+        }
+        Value::Double(x) => {
+            w.u8(4);
+            w.f64(*x);
+        }
+        Value::Array(items) => {
+            w.u8(5);
+            w.u32(items.len() as u32);
+            for item in items {
+                put_value(w, item);
+            }
+        }
+    }
+}
+
+fn get_value(r: &mut Reader<'_>) -> WireResult<Value> {
+    Ok(match r.u8()? {
+        0 => Value::Bool(r.bool()?),
+        1 => Value::Int(r.i32()?),
+        2 => Value::Long(r.i64()?),
+        3 => Value::Float(r.f32()?),
+        4 => Value::Double(r.f64()?),
+        5 => {
+            let n = r.u32()? as usize;
+            let mut items = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                items.push(get_value(r)?);
+            }
+            Value::Array(items)
+        }
+        tag => return Err(WireError::BadTag { what: "value", tag }),
+    })
+}
+
+fn put_column(w: &mut Writer, col: &ColumnData) {
+    match col {
+        ColumnData::Bool(v) => {
+            w.u8(0);
+            w.u64(v.len() as u64);
+            for &b in v {
+                w.bool(b);
+            }
+        }
+        ColumnData::Int(v) => {
+            w.u8(1);
+            w.u64(v.len() as u64);
+            for &x in v {
+                w.i32(x);
+            }
+        }
+        ColumnData::Long(v) => {
+            w.u8(2);
+            w.u64(v.len() as u64);
+            for &x in v {
+                w.i64(x);
+            }
+        }
+        ColumnData::Float(v) => {
+            w.u8(3);
+            w.u64(v.len() as u64);
+            for &x in v {
+                w.f32(x);
+            }
+        }
+        ColumnData::Double(v) => {
+            w.u8(4);
+            w.u64(v.len() as u64);
+            for &x in v {
+                w.f64(x);
+            }
+        }
+        ColumnData::Array(v) => {
+            w.u8(5);
+            w.u64(v.len() as u64);
+            for row in v {
+                w.u32(row.len() as u32);
+                for item in row {
+                    put_value(w, item);
+                }
+            }
+        }
+    }
+}
+
+fn get_column(r: &mut Reader<'_>) -> WireResult<ColumnData> {
+    let tag = r.u8()?;
+    let n = r.u64()? as usize;
+    Ok(match tag {
+        0 => {
+            let mut v = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                v.push(r.bool()?);
+            }
+            ColumnData::Bool(v)
+        }
+        1 => {
+            let mut v = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                v.push(r.i32()?);
+            }
+            ColumnData::Int(v)
+        }
+        2 => {
+            let mut v = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                v.push(r.i64()?);
+            }
+            ColumnData::Long(v)
+        }
+        3 => {
+            let mut v = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                v.push(r.f32()?);
+            }
+            ColumnData::Float(v)
+        }
+        4 => {
+            let mut v = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                v.push(r.f64()?);
+            }
+            ColumnData::Double(v)
+        }
+        5 => {
+            let mut v = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                let len = r.u32()? as usize;
+                let mut row = Vec::with_capacity(len.min(1 << 16));
+                for _ in 0..len {
+                    row.push(get_value(r)?);
+                }
+                v.push(row);
+            }
+            ColumnData::Array(v)
+        }
+        tag => return Err(WireError::BadTag { what: "column", tag }),
+    })
+}
+
+fn put_contribution(w: &mut Writer, c: &Contribution) {
+    put_value(w, &c.folded);
+    w.i64(c.count);
+    match &c.monoid {
+        None => w.u8(0),
+        Some(m) => {
+            w.u8(1);
+            put_value(w, &m.value);
+            w.u64(m.count);
+        }
+    }
+    w.u32(c.retractions.len() as u32);
+    for v in &c.retractions {
+        put_value(w, v);
+    }
+}
+
+fn get_contribution(r: &mut Reader<'_>) -> WireResult<Contribution> {
+    let folded = get_value(r)?;
+    let count = r.i64()?;
+    let monoid = match r.u8()? {
+        0 => None,
+        1 => Some(CountedAccm {
+            value: get_value(r)?,
+            count: r.u64()?,
+        }),
+        tag => return Err(WireError::BadTag { what: "monoid", tag }),
+    };
+    let n = r.u32()? as usize;
+    let mut retractions = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        retractions.push(get_value(r)?);
+    }
+    Ok(Contribution {
+        folded,
+        count,
+        monoid,
+        retractions,
+    })
+}
+
+fn put_io(w: &mut Writer, io: &IoSnapshot) {
+    w.u64(io.disk_read_bytes);
+    w.u64(io.disk_write_bytes);
+    w.u64(io.page_reads);
+    w.u64(io.page_hits);
+    w.u64(io.net_bytes);
+    w.u64(io.walks_enumerated);
+    w.u64(io.recomputations);
+}
+
+fn get_io(r: &mut Reader<'_>) -> WireResult<IoSnapshot> {
+    Ok(IoSnapshot {
+        disk_read_bytes: r.u64()?,
+        disk_write_bytes: r.u64()?,
+        page_reads: r.u64()?,
+        page_hits: r.u64()?,
+        net_bytes: r.u64()?,
+        walks_enumerated: r.u64()?,
+        recomputations: r.u64()?,
+    })
+}
+
+fn put_maintenance(w: &mut Writer, m: &MaintenancePolicy) {
+    match m {
+        MaintenancePolicy::NoMerge => {
+            w.u8(0);
+            w.u64(0);
+        }
+        MaintenancePolicy::Periodic(k) => {
+            w.u8(1);
+            w.u64(*k as u64);
+        }
+        MaintenancePolicy::CostBased => {
+            w.u8(2);
+            w.u64(0);
+        }
+    }
+}
+
+fn get_maintenance(r: &mut Reader<'_>) -> WireResult<MaintenancePolicy> {
+    let tag = r.u8()?;
+    let k = r.u64()? as usize;
+    Ok(match tag {
+        0 => MaintenancePolicy::NoMerge,
+        1 => MaintenancePolicy::Periodic(k),
+        2 => MaintenancePolicy::CostBased,
+        tag => return Err(WireError::BadTag { what: "maintenance", tag }),
+    })
+}
+
+fn put_vertex_list(w: &mut Writer, vs: &[VertexId]) {
+    w.u64(vs.len() as u64);
+    for &v in vs {
+        w.u64(v);
+    }
+}
+
+fn get_vertex_list(r: &mut Reader<'_>) -> WireResult<Vec<VertexId>> {
+    let n = r.u64()? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        out.push(r.u64()?);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------
+// Payload.
+// ---------------------------------------------------------------
+
+/// The engine-relevant subset of [`crate::EngineConfig`] shipped to worker
+/// processes at bootstrap. The observability recorder and transport kind
+/// are deliberately absent: workers always run their own recorder and a
+/// pipe link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireConfig {
+    pub machines: u64,
+    pub window_capacity: u64,
+    pub buffer_pool_bytes: u64,
+    pub page_size: u64,
+    pub max_supersteps: u64,
+    pub maintenance: MaintenancePolicy,
+    /// `[traversal_reorder, neighbor_prune, seek_window_share, min_count]`.
+    pub opts: [bool; 4],
+    pub parallel: bool,
+    pub threads_per_machine: u64,
+}
+
+/// Per-run scalar results shipped back by a worker in
+/// [`Payload::RunDone`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunDoneStats {
+    pub supersteps: u64,
+    pub work_units: u64,
+    pub recomputed: u64,
+    pub phases: u64,
+    pub chunks: u64,
+    pub max_worker_units: u64,
+    pub min_worker_units: u64,
+    pub io: IoSnapshot,
+}
+
+/// Everything that crosses a partition boundary, coordinator ↔ worker or
+/// worker ↔ worker (relayed through the coordinator's star topology).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Coordinator → worker: program source, graph image, and config.
+    Bootstrap {
+        rank: u32,
+        workers: u32,
+        source: String,
+        num_vertices: u64,
+        undirected: bool,
+        edges: Vec<(VertexId, VertexId)>,
+        cfg: WireConfig,
+    },
+    /// Worker → coordinator: bootstrap complete, session built.
+    Hello { rank: u32 },
+    /// Coordinator → worker run commands.
+    RunOneshot,
+    RunIncremental,
+    /// Coordinator → worker: apply this mutation batch to the local graph.
+    Mutations(MutationBatch),
+    /// Coordinator → worker: compact edge-store segment chains.
+    Compact,
+    /// Coordinator → worker: exit cleanly.
+    Shutdown,
+    /// Sender machine's pre-aggregated accumulator contributions for one
+    /// destination machine: `vertex[a]` lists `(target, contribution)` in
+    /// the sender's deterministic pre-aggregation order.
+    Contribs {
+        from: u32,
+        vertex: Vec<Vec<(VertexId, Contribution)>>,
+    },
+    /// Sender machine's global-accumulator partials, reduced at the
+    /// coordinator in machine order.
+    GlobalsPartial { from: u32, globals: Vec<Contribution> },
+    /// Worker → coordinator: active-set cardinality — the convergence vote.
+    Frontier {
+        from: u32,
+        superstep: u64,
+        active: u64,
+    },
+    /// Coordinator → workers: the reduced active total; every worker
+    /// evaluates the identical break condition on it.
+    FrontierTotal { superstep: u64, active: u64 },
+    /// Worker → coordinator: per-accumulator vertex sets needing monoid
+    /// recomputation, in first-trigger order (the order is part of the
+    /// protocol — it seeds hash-set construction on every peer).
+    RecomputeSets {
+        from: u32,
+        sets: Vec<Vec<VertexId>>,
+    },
+    /// Coordinator → workers: the rank-ordered concatenation of all
+    /// workers' recompute sets.
+    RecomputeUnion { sets: Vec<Vec<VertexId>> },
+    /// Coordinator → workers (incremental): whether monoid/retraction
+    /// damage forces a full global-accumulator recompute round.
+    GlobalsDecision { recompute: bool },
+    /// Coordinator → workers: the superstep's final global values.
+    GlobalsFinal { values: Vec<Value>, changed: bool },
+    /// Worker → coordinator at run end: one machine's final attribute
+    /// columns.
+    AttrImage { machine: u32, cols: Vec<ColumnData> },
+    /// Worker → coordinator at run end: scalar run results.
+    RunDone { from: u32, stats: RunDoneStats },
+    /// Worker → coordinator: entered barrier `seq`; all data frames for
+    /// this round have been written.
+    BarrierAck { from: u32, seq: u64 },
+    /// Coordinator → workers: barrier `seq` released; all data frames for
+    /// this round have been delivered.
+    Barrier { seq: u64 },
+}
+
+impl Payload {
+    fn tag(&self) -> u8 {
+        match self {
+            Payload::Bootstrap { .. } => 0,
+            Payload::Hello { .. } => 1,
+            Payload::RunOneshot => 2,
+            Payload::RunIncremental => 3,
+            Payload::Mutations(_) => 4,
+            Payload::Compact => 5,
+            Payload::Shutdown => 6,
+            Payload::Contribs { .. } => 7,
+            Payload::GlobalsPartial { .. } => 8,
+            Payload::Frontier { .. } => 9,
+            Payload::FrontierTotal { .. } => 10,
+            Payload::RecomputeSets { .. } => 11,
+            Payload::RecomputeUnion { .. } => 12,
+            Payload::GlobalsDecision { .. } => 13,
+            Payload::GlobalsFinal { .. } => 14,
+            Payload::AttrImage { .. } => 15,
+            Payload::RunDone { .. } => 16,
+            Payload::BarrierAck { .. } => 17,
+            Payload::Barrier { .. } => 18,
+        }
+    }
+
+    /// A short label for tracing and error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Payload::Bootstrap { .. } => "Bootstrap",
+            Payload::Hello { .. } => "Hello",
+            Payload::RunOneshot => "RunOneshot",
+            Payload::RunIncremental => "RunIncremental",
+            Payload::Mutations(_) => "Mutations",
+            Payload::Compact => "Compact",
+            Payload::Shutdown => "Shutdown",
+            Payload::Contribs { .. } => "Contribs",
+            Payload::GlobalsPartial { .. } => "GlobalsPartial",
+            Payload::Frontier { .. } => "Frontier",
+            Payload::FrontierTotal { .. } => "FrontierTotal",
+            Payload::RecomputeSets { .. } => "RecomputeSets",
+            Payload::RecomputeUnion { .. } => "RecomputeUnion",
+            Payload::GlobalsDecision { .. } => "GlobalsDecision",
+            Payload::GlobalsFinal { .. } => "GlobalsFinal",
+            Payload::AttrImage { .. } => "AttrImage",
+            Payload::RunDone { .. } => "RunDone",
+            Payload::BarrierAck { .. } => "BarrierAck",
+            Payload::Barrier { .. } => "Barrier",
+        }
+    }
+}
+
+/// Encode a payload: `[magic][version][tag][body]`.
+pub fn encode_payload(p: &Payload) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u16(WIRE_MAGIC);
+    w.u8(WIRE_VERSION);
+    w.u8(p.tag());
+    match p {
+        Payload::Bootstrap {
+            rank,
+            workers,
+            source,
+            num_vertices,
+            undirected,
+            edges,
+            cfg,
+        } => {
+            w.u32(*rank);
+            w.u32(*workers);
+            w.str(source);
+            w.u64(*num_vertices);
+            w.bool(*undirected);
+            w.u64(edges.len() as u64);
+            for &(s, d) in edges {
+                w.u64(s);
+                w.u64(d);
+            }
+            w.u64(cfg.machines);
+            w.u64(cfg.window_capacity);
+            w.u64(cfg.buffer_pool_bytes);
+            w.u64(cfg.page_size);
+            w.u64(cfg.max_supersteps);
+            put_maintenance(&mut w, &cfg.maintenance);
+            for b in cfg.opts {
+                w.bool(b);
+            }
+            w.bool(cfg.parallel);
+            w.u64(cfg.threads_per_machine);
+        }
+        Payload::Hello { rank } => w.u32(*rank),
+        Payload::RunOneshot
+        | Payload::RunIncremental
+        | Payload::Compact
+        | Payload::Shutdown => {}
+        Payload::Mutations(batch) => {
+            w.u64(batch.edges.len() as u64);
+            for e in &batch.edges {
+                w.u64(e.src);
+                w.u64(e.dst);
+                w.i8(e.mult);
+            }
+        }
+        Payload::Contribs { from, vertex } => {
+            w.u32(*from);
+            w.u32(vertex.len() as u32);
+            for list in vertex {
+                w.u64(list.len() as u64);
+                for (v, c) in list {
+                    w.u64(*v);
+                    put_contribution(&mut w, c);
+                }
+            }
+        }
+        Payload::GlobalsPartial { from, globals } => {
+            w.u32(*from);
+            w.u32(globals.len() as u32);
+            for c in globals {
+                put_contribution(&mut w, c);
+            }
+        }
+        Payload::Frontier {
+            from,
+            superstep,
+            active,
+        } => {
+            w.u32(*from);
+            w.u64(*superstep);
+            w.u64(*active);
+        }
+        Payload::FrontierTotal { superstep, active } => {
+            w.u64(*superstep);
+            w.u64(*active);
+        }
+        Payload::RecomputeSets { from, sets } => {
+            w.u32(*from);
+            w.u32(sets.len() as u32);
+            for set in sets {
+                put_vertex_list(&mut w, set);
+            }
+        }
+        Payload::RecomputeUnion { sets } => {
+            w.u32(sets.len() as u32);
+            for set in sets {
+                put_vertex_list(&mut w, set);
+            }
+        }
+        Payload::GlobalsDecision { recompute } => w.bool(*recompute),
+        Payload::GlobalsFinal { values, changed } => {
+            w.u32(values.len() as u32);
+            for v in values {
+                put_value(&mut w, v);
+            }
+            w.bool(*changed);
+        }
+        Payload::AttrImage { machine, cols } => {
+            w.u32(*machine);
+            w.u32(cols.len() as u32);
+            for col in cols {
+                put_column(&mut w, col);
+            }
+        }
+        Payload::RunDone { from, stats } => {
+            w.u32(*from);
+            w.u64(stats.supersteps);
+            w.u64(stats.work_units);
+            w.u64(stats.recomputed);
+            w.u64(stats.phases);
+            w.u64(stats.chunks);
+            w.u64(stats.max_worker_units);
+            w.u64(stats.min_worker_units);
+            put_io(&mut w, &stats.io);
+        }
+        Payload::BarrierAck { from, seq } => {
+            w.u32(*from);
+            w.u64(*seq);
+        }
+        Payload::Barrier { seq } => w.u64(*seq),
+    }
+    w.buf
+}
+
+/// Decode a payload produced by [`encode_payload`].
+pub fn decode_payload(bytes: &[u8]) -> WireResult<Payload> {
+    let mut r = Reader::new(bytes);
+    let magic = r.u16()?;
+    if magic != WIRE_MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let ver = r.u8()?;
+    if ver != WIRE_VERSION {
+        return Err(WireError::BadVersion(ver));
+    }
+    let tag = r.u8()?;
+    let payload = match tag {
+        0 => {
+            let rank = r.u32()?;
+            let workers = r.u32()?;
+            let source = r.str()?;
+            let num_vertices = r.u64()?;
+            let undirected = r.bool()?;
+            let n = r.u64()? as usize;
+            let mut edges = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                edges.push((r.u64()?, r.u64()?));
+            }
+            let cfg = WireConfig {
+                machines: r.u64()?,
+                window_capacity: r.u64()?,
+                buffer_pool_bytes: r.u64()?,
+                page_size: r.u64()?,
+                max_supersteps: r.u64()?,
+                maintenance: get_maintenance(&mut r)?,
+                opts: [r.bool()?, r.bool()?, r.bool()?, r.bool()?],
+                parallel: r.bool()?,
+                threads_per_machine: r.u64()?,
+            };
+            Payload::Bootstrap {
+                rank,
+                workers,
+                source,
+                num_vertices,
+                undirected,
+                edges,
+                cfg,
+            }
+        }
+        1 => Payload::Hello { rank: r.u32()? },
+        2 => Payload::RunOneshot,
+        3 => Payload::RunIncremental,
+        4 => {
+            let n = r.u64()? as usize;
+            let mut edges = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                edges.push(itg_store::EdgeMutation {
+                    src: r.u64()?,
+                    dst: r.u64()?,
+                    mult: r.i8()?,
+                });
+            }
+            Payload::Mutations(MutationBatch::new(edges))
+        }
+        5 => Payload::Compact,
+        6 => Payload::Shutdown,
+        7 => {
+            let from = r.u32()?;
+            let n_accms = r.u32()? as usize;
+            let mut vertex = Vec::with_capacity(n_accms.min(1 << 10));
+            for _ in 0..n_accms {
+                let n = r.u64()? as usize;
+                let mut list = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    let v = r.u64()?;
+                    list.push((v, get_contribution(&mut r)?));
+                }
+                vertex.push(list);
+            }
+            Payload::Contribs { from, vertex }
+        }
+        8 => {
+            let from = r.u32()?;
+            let n = r.u32()? as usize;
+            let mut globals = Vec::with_capacity(n.min(1 << 10));
+            for _ in 0..n {
+                globals.push(get_contribution(&mut r)?);
+            }
+            Payload::GlobalsPartial { from, globals }
+        }
+        9 => Payload::Frontier {
+            from: r.u32()?,
+            superstep: r.u64()?,
+            active: r.u64()?,
+        },
+        10 => Payload::FrontierTotal {
+            superstep: r.u64()?,
+            active: r.u64()?,
+        },
+        11 => {
+            let from = r.u32()?;
+            let n = r.u32()? as usize;
+            let mut sets = Vec::with_capacity(n.min(1 << 10));
+            for _ in 0..n {
+                sets.push(get_vertex_list(&mut r)?);
+            }
+            Payload::RecomputeSets { from, sets }
+        }
+        12 => {
+            let n = r.u32()? as usize;
+            let mut sets = Vec::with_capacity(n.min(1 << 10));
+            for _ in 0..n {
+                sets.push(get_vertex_list(&mut r)?);
+            }
+            Payload::RecomputeUnion { sets }
+        }
+        13 => Payload::GlobalsDecision {
+            recompute: r.bool()?,
+        },
+        14 => {
+            let n = r.u32()? as usize;
+            let mut values = Vec::with_capacity(n.min(1 << 10));
+            for _ in 0..n {
+                values.push(get_value(&mut r)?);
+            }
+            Payload::GlobalsFinal {
+                values,
+                changed: r.bool()?,
+            }
+        }
+        15 => {
+            let machine = r.u32()?;
+            let n = r.u32()? as usize;
+            let mut cols = Vec::with_capacity(n.min(1 << 10));
+            for _ in 0..n {
+                cols.push(get_column(&mut r)?);
+            }
+            Payload::AttrImage { machine, cols }
+        }
+        16 => Payload::RunDone {
+            from: r.u32()?,
+            stats: RunDoneStats {
+                supersteps: r.u64()?,
+                work_units: r.u64()?,
+                recomputed: r.u64()?,
+                phases: r.u64()?,
+                chunks: r.u64()?,
+                max_worker_units: r.u64()?,
+                min_worker_units: r.u64()?,
+                io: get_io(&mut r)?,
+            },
+        },
+        17 => Payload::BarrierAck {
+            from: r.u32()?,
+            seq: r.u64()?,
+        },
+        18 => Payload::Barrier { seq: r.u64()? },
+        tag => return Err(WireError::BadTag { what: "payload", tag }),
+    };
+    r.finish()?;
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------
+// Frame IO.
+// ---------------------------------------------------------------
+
+/// Write one frame: `[len: u32][dst: u16][payload]`.
+pub fn write_frame(out: &mut impl Write, dst: u16, payload: &Payload) -> std::io::Result<()> {
+    write_frame_bytes(out, dst, &encode_payload(payload))
+}
+
+/// Write one pre-encoded frame (the coordinator's relay path: no decode,
+/// no re-encode).
+pub fn write_frame_bytes(out: &mut impl Write, dst: u16, payload: &[u8]) -> std::io::Result<()> {
+    let len = (payload.len() + 2) as u32;
+    out.write_all(&len.to_le_bytes())?;
+    out.write_all(&dst.to_le_bytes())?;
+    out.write_all(payload)?;
+    out.flush()
+}
+
+/// Read one frame; `Ok(None)` on clean EOF at a frame boundary.
+pub fn read_frame(input: &mut impl Read) -> std::io::Result<Option<(u16, Vec<u8>)>> {
+    let mut len_buf = [0u8; 4];
+    match input.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if !(2..=MAX_FRAME_BYTES).contains(&len) {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("bad frame length {len}"),
+        ));
+    }
+    let mut dst_buf = [0u8; 2];
+    input.read_exact(&mut dst_buf)?;
+    let mut body = vec![0u8; len as usize - 2];
+    input.read_exact(&mut body)?;
+    Ok(Some((u16::from_le_bytes(dst_buf), body)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itg_gsa::accm::AccmOp;
+    use itg_gsa::value::PrimType;
+    use itg_store::EdgeMutation;
+
+    fn roundtrip(p: &Payload) {
+        let bytes = encode_payload(p);
+        let back = decode_payload(&bytes).expect("decodes");
+        assert_eq!(&back, p);
+        // Re-encoding is byte-identical (the canonical-form property the
+        // proptest suite checks at scale).
+        assert_eq!(encode_payload(&back), bytes);
+    }
+
+    #[test]
+    fn control_payloads_roundtrip() {
+        roundtrip(&Payload::RunOneshot);
+        roundtrip(&Payload::RunIncremental);
+        roundtrip(&Payload::Compact);
+        roundtrip(&Payload::Shutdown);
+        roundtrip(&Payload::Hello { rank: 3 });
+        roundtrip(&Payload::Barrier { seq: u64::MAX });
+        roundtrip(&Payload::BarrierAck { from: 7, seq: 0 });
+        roundtrip(&Payload::GlobalsDecision { recompute: true });
+        roundtrip(&Payload::FrontierTotal {
+            superstep: 9,
+            active: u64::MAX,
+        });
+    }
+
+    #[test]
+    fn contribs_roundtrip_with_monoid_and_retractions() {
+        let mut c = Contribution::identity(AccmOp::Min, PrimType::Long);
+        c.add(AccmOp::Min, PrimType::Long, &Value::Long(5), 1);
+        c.add(AccmOp::Min, PrimType::Long, &Value::Long(9), -1);
+        let mut s = Contribution::identity(AccmOp::Sum, PrimType::Double);
+        s.add(AccmOp::Sum, PrimType::Double, &Value::Double(-0.0), 1);
+        roundtrip(&Payload::Contribs {
+            from: 2,
+            vertex: vec![vec![(17, c)], vec![], vec![(u64::MAX, s)]],
+        });
+    }
+
+    #[test]
+    fn float_encoding_is_bitwise() {
+        let nan = f64::from_bits(0x7ff8_dead_beef_0001);
+        let p = Payload::GlobalsFinal {
+            values: vec![Value::Double(nan), Value::Double(-0.0), Value::Float(f32::NAN)],
+            changed: false,
+        };
+        let bytes = encode_payload(&p);
+        let back = decode_payload(&bytes).unwrap();
+        let Payload::GlobalsFinal { values, .. } = back else {
+            panic!("wrong variant");
+        };
+        let Value::Double(d) = values[0] else { panic!() };
+        assert_eq!(d.to_bits(), nan.to_bits());
+        let Value::Double(z) = values[1] else { panic!() };
+        assert_eq!(z.to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn bootstrap_roundtrip() {
+        roundtrip(&Payload::Bootstrap {
+            rank: 1,
+            workers: 4,
+            source: "Vertex (id, active, nbrs)\nInitialize (u): { }".into(),
+            num_vertices: 1 << 20,
+            undirected: true,
+            edges: vec![(0, 1), (1, 2), (u64::MAX - 1, 3)],
+            cfg: WireConfig {
+                machines: 8,
+                window_capacity: 1024,
+                buffer_pool_bytes: 64 << 20,
+                page_size: 4096,
+                max_supersteps: u64::MAX,
+                maintenance: MaintenancePolicy::Periodic(6),
+                opts: [true, false, true, true],
+                parallel: true,
+                threads_per_machine: 4,
+            },
+        });
+    }
+
+    #[test]
+    fn mutations_and_images_roundtrip() {
+        roundtrip(&Payload::Mutations(MutationBatch::new(vec![
+            EdgeMutation::insert(0, 9),
+            EdgeMutation::delete(4, 2),
+        ])));
+        roundtrip(&Payload::AttrImage {
+            machine: 3,
+            cols: vec![
+                ColumnData::Bool(vec![true, false]),
+                ColumnData::Double(vec![0.5, -0.0]),
+                ColumnData::Array(vec![vec![Value::Float(1.5)], vec![]]),
+            ],
+        });
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_stream() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_frame(&mut buf, 3, &Payload::Hello { rank: 0 }).unwrap();
+        write_frame(&mut buf, DST_COORD, &Payload::Barrier { seq: 5 }).unwrap();
+        let mut cur = &buf[..];
+        let (d1, b1) = read_frame(&mut cur).unwrap().unwrap();
+        assert_eq!(d1, 3);
+        assert_eq!(decode_payload(&b1).unwrap(), Payload::Hello { rank: 0 });
+        let (d2, b2) = read_frame(&mut cur).unwrap().unwrap();
+        assert_eq!(d2, DST_COORD);
+        assert_eq!(decode_payload(&b2).unwrap(), Payload::Barrier { seq: 5 });
+        assert!(read_frame(&mut cur).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let bytes = encode_payload(&Payload::RunOneshot);
+        assert_eq!(
+            decode_payload(&bytes[..bytes.len() - 1]).unwrap_err(),
+            WireError::Truncated
+        );
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(matches!(
+            decode_payload(&bad_magic).unwrap_err(),
+            WireError::BadMagic(_)
+        ));
+        let mut bad_ver = bytes.clone();
+        bad_ver[2] = 99;
+        assert_eq!(decode_payload(&bad_ver).unwrap_err(), WireError::BadVersion(99));
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert_eq!(decode_payload(&trailing).unwrap_err(), WireError::Trailing(1));
+    }
+}

@@ -1,0 +1,138 @@
+//! The partition-worker process entry point (`itg-partition-worker`).
+//!
+//! A worker is an ordinary [`Session`] whose plane is a
+//! [`PipeLink`](crate::transport::PipeLink) to the coordinator: it
+//! bootstraps from the first stdin frame (program source, graph image,
+//! config), rebuilds the identical session state every peer has, and then
+//! executes the same BSP drivers as the local plane — restricted to its
+//! owned machine range, with exchange, convergence votes, and global
+//! reduction flowing over the pipe.
+
+use crate::config::EngineConfig;
+use crate::graph::GraphInput;
+use crate::metrics::RunMetrics;
+use crate::session::{Plane, Session};
+use crate::transport::{partition_range, PipeLink, Transport, TransportError, COORD};
+use crate::wire::{read_frame, Payload, RunDoneStats, DST_CTRL};
+
+/// Run the worker protocol to completion: bootstrap, then serve run
+/// commands until `Shutdown` (or clean EOF, which the coordinator's drop
+/// path produces when it exits without one).
+pub fn worker_main() -> Result<(), TransportError> {
+    // The bootstrap frame is read before the link exists — the link's
+    // per-call stdin locking makes this safe.
+    let first = {
+        let stdin = std::io::stdin();
+        read_frame(&mut stdin.lock())?
+    };
+    let Some((dst, body)) = first else {
+        return Err(TransportError::Protocol(
+            "coordinator closed the pipe before bootstrap".into(),
+        ));
+    };
+    if dst != DST_CTRL {
+        return Err(TransportError::Protocol(format!(
+            "bootstrap frame addressed to {dst}, expected the control channel"
+        )));
+    }
+    let Payload::Bootstrap {
+        rank,
+        workers,
+        source,
+        num_vertices,
+        undirected,
+        edges,
+        cfg: wire_cfg,
+    } = crate::wire::decode_payload(&body)?
+    else {
+        return Err(TransportError::Protocol(
+            "first control payload was not Bootstrap".into(),
+        ));
+    };
+
+    let input = GraphInput {
+        num_vertices: num_vertices as usize,
+        edges,
+        undirected,
+    };
+    let mut cfg = EngineConfig {
+        machines: wire_cfg.machines as usize,
+        window_capacity: wire_cfg.window_capacity as usize,
+        buffer_pool_bytes: wire_cfg.buffer_pool_bytes,
+        page_size: wire_cfg.page_size,
+        max_supersteps: wire_cfg.max_supersteps as usize,
+        maintenance: wire_cfg.maintenance,
+        ..EngineConfig::default()
+    };
+    cfg.opts.traversal_reorder = wire_cfg.opts[0];
+    cfg.opts.neighbor_prune = wire_cfg.opts[1];
+    cfg.opts.seek_window_share = wire_cfg.opts[2];
+    cfg.opts.min_count = wire_cfg.opts[3];
+    cfg.parallel = wire_cfg.parallel;
+    cfg.threads_per_machine = wire_cfg.threads_per_machine as usize;
+
+    let program = itg_compiler::compile_source(&source)
+        .map_err(|e| TransportError::Protocol(format!("bootstrap program rejected: {e}")))?;
+    let owned = partition_range(cfg.machines, workers as usize, rank as usize);
+    let link = PipeLink::new(rank, owned.clone(), &cfg.obs);
+    let mut sess = Session::assemble(program, &input, cfg, Plane::Worker(link), owned)
+        .map_err(|e| TransportError::Protocol(format!("bootstrap session rejected: {e}")))?;
+    sess.worker_link().send(COORD, Payload::Hello { rank })?;
+
+    loop {
+        match sess.worker_link().recv_ctrl() {
+            Ok(Payload::RunOneshot) => {
+                let metrics = sess.run_oneshot();
+                report_run(&mut sess, rank, &metrics)?;
+            }
+            Ok(Payload::RunIncremental) => {
+                let metrics = sess
+                    .try_run_incremental()
+                    .expect("coordinator pre-validated the incremental run");
+                report_run(&mut sess, rank, &metrics)?;
+            }
+            Ok(Payload::Mutations(batch)) => sess.apply_mutations(&batch),
+            Ok(Payload::Compact) => sess.compact_edges(),
+            Ok(Payload::Shutdown) => return Ok(()),
+            Ok(other) => {
+                return Err(TransportError::Protocol(format!(
+                    "unexpected command payload: {}",
+                    other.kind()
+                )));
+            }
+            // A closed pipe without Shutdown: the coordinator is gone;
+            // exit quietly rather than crash-looping on EOF.
+            Err(TransportError::Protocol(msg)) if msg.contains("closed the pipe") => {
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Ship the end-of-run report: one attribute image per owned machine plus
+/// this worker's scalar results.
+fn report_run(sess: &mut Session, rank: u32, metrics: &RunMetrics) -> Result<(), TransportError> {
+    for w in sess.owned.clone() {
+        let cols = sess.parts[w].cur_attrs.clone();
+        sess.worker_link().send(
+            COORD,
+            Payload::AttrImage {
+                machine: w as u32,
+                cols,
+            },
+        )?;
+    }
+    let stats = RunDoneStats {
+        supersteps: metrics.supersteps as u64,
+        work_units: metrics.work_units,
+        recomputed: metrics.recomputed_vertices,
+        phases: metrics.parallel.phases,
+        chunks: metrics.parallel.chunks,
+        max_worker_units: metrics.parallel.max_worker_units,
+        min_worker_units: metrics.parallel.min_worker_units,
+        io: metrics.io,
+    };
+    sess.worker_link()
+        .send(COORD, Payload::RunDone { from: rank, stats })
+}

@@ -1,0 +1,255 @@
+//! Cross-transport equivalence: a session running over
+//! `TransportKind::Process` (partition groups in separate OS processes,
+//! exchange over pipes) must be indistinguishable from the same session
+//! over `TransportKind::Local` — identical attribute columns, global
+//! values, superstep counts, work units, recomputed-vertex counts, and
+//! `net_bytes` — for one-shot runs and for a random incremental mutation
+//! history. The programs use integer arithmetic, so "identical" means
+//! bit-for-bit.
+//!
+//! Also covers the `net/bytes` observability counter (it must equal the
+//! `RunMetrics::io::net_bytes` the engine reports) and the
+//! `EngineError::BadSuperstep` contract on `global_value`.
+
+use itg_algorithms::programs;
+use itg_engine::{EngineConfig, GraphInput, SessionBuilder, TransportKind};
+use itg_gsa::{Value, VertexId};
+use itg_store::{EdgeMutation, MutationBatch};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Random undirected base graph plus mutation batches (same workload
+/// protocol shape as the local equivalence suite).
+fn random_workload(
+    seed: u64,
+    n: u64,
+    base_edges: usize,
+    batches: usize,
+    batch_size: usize,
+) -> (Vec<(VertexId, VertexId)>, Vec<MutationBatch>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut all: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    while all.len() < base_edges + batches * batch_size {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b && seen.insert((a.min(b), a.max(b))) {
+            all.push((a.min(b), a.max(b)));
+        }
+    }
+    let base: Vec<_> = all[..base_edges].to_vec();
+    let mut pool: Vec<_> = all[base_edges..].to_vec();
+    let mut alive = base.clone();
+    let mut out = Vec::new();
+    for _ in 0..batches {
+        let mut muts = Vec::new();
+        for _ in 0..batch_size {
+            if rng.gen_bool(0.7) || alive.len() < 4 {
+                if let Some(e) = pool.pop() {
+                    muts.push(EdgeMutation::insert(e.0, e.1));
+                    alive.push(e);
+                }
+            } else {
+                let i = rng.gen_range(0..alive.len());
+                let e = alive.swap_remove(i);
+                muts.push(EdgeMutation::delete(e.0, e.1));
+            }
+        }
+        out.push(MutationBatch::new(muts));
+    }
+    (base, out)
+}
+
+fn attr_names(name: &str) -> Vec<&'static str> {
+    match name {
+        "pr" => vec!["rank"],
+        "wcc" => vec!["comp"],
+        "tc" => vec![],
+        _ => unreachable!(),
+    }
+}
+
+fn global_names(name: &str) -> Vec<&'static str> {
+    match name {
+        "tc" => vec!["cnts"],
+        _ => vec![],
+    }
+}
+
+/// Everything user-visible about one run, captured for comparison.
+#[derive(Debug, PartialEq)]
+struct RunSnapshot {
+    attrs: Vec<(String, Vec<Value>)>,
+    globals: Vec<(String, Value)>,
+    supersteps: usize,
+    work_units: u64,
+    recomputed_vertices: u64,
+    net_bytes: u64,
+    phases: u64,
+    chunks: u64,
+}
+
+/// Run `name` over `transport`: one-shot on the base graph, then the full
+/// mutation history incrementally, snapshotting after every run.
+fn transcript(name: &str, transport: TransportKind, machines: usize, seed: u64) -> Vec<RunSnapshot> {
+    let (base, batches) = random_workload(seed, 24, 40, 3, 6);
+    let src = programs::source(name).unwrap();
+    let mut input = if programs::is_undirected(name) {
+        GraphInput::undirected(base)
+    } else {
+        GraphInput::directed(base)
+    };
+    input.num_vertices = 24;
+    let max_ss = if name == "pr" { 10 } else { usize::MAX };
+
+    let mut sess = SessionBuilder::from_config(EngineConfig::default())
+        .machines(machines)
+        .parallel(false)
+        .transport(transport)
+        .max_supersteps(max_ss)
+        .from_source(&src, &input)
+        .expect("session builds");
+
+    let mut out = Vec::new();
+    let m = sess.run_oneshot();
+    out.push(snapshot(&sess, name, &m));
+    for batch in &batches {
+        sess.apply_mutations(batch);
+        let m = sess.run_incremental();
+        out.push(snapshot(&sess, name, &m));
+    }
+    out
+}
+
+fn snapshot(
+    sess: &itg_engine::Session,
+    name: &str,
+    m: &itg_engine::RunMetrics,
+) -> RunSnapshot {
+    RunSnapshot {
+        attrs: attr_names(name)
+            .into_iter()
+            .map(|a| (a.to_string(), sess.attr_column(a).unwrap()))
+            .collect(),
+        globals: global_names(name)
+            .into_iter()
+            .map(|g| (g.to_string(), sess.global_value(g, None).unwrap()))
+            .collect(),
+        supersteps: m.supersteps,
+        work_units: m.work_units,
+        recomputed_vertices: m.recomputed_vertices,
+        net_bytes: m.io.net_bytes,
+        phases: m.parallel.phases,
+        chunks: m.parallel.chunks,
+    }
+}
+
+/// The core property: local and process transcripts are identical.
+fn check_transports_agree(name: &str, machines: usize, workers: usize, seed: u64) {
+    let local = transcript(name, TransportKind::Local, machines, seed);
+    let process = transcript(name, TransportKind::Process { workers }, machines, seed);
+    assert_eq!(
+        local.len(),
+        process.len(),
+        "{name}: run count diverged (seed {seed})"
+    );
+    for (i, (l, p)) in local.iter().zip(&process).enumerate() {
+        assert_eq!(
+            l, p,
+            "{name}: run {i} diverged between local and process transports \
+             (machines={machines}, workers={workers}, seed={seed})"
+        );
+    }
+}
+
+// The process-transport tests spawn `itg-partition-worker` children over
+// piped stdio; gated to unix per the CI matrix.
+
+#[cfg(unix)]
+#[test]
+fn pr_process_matches_local() {
+    // Two workers, each owning two of the four partition groups.
+    check_transports_agree("pr", 4, 2, 5);
+}
+
+#[cfg(unix)]
+#[test]
+fn wcc_process_matches_local() {
+    check_transports_agree("wcc", 4, 2, 6);
+}
+
+#[cfg(unix)]
+#[test]
+fn wcc_one_worker_per_machine_matches_local() {
+    // workers = 0 resolves to one process per machine.
+    check_transports_agree("wcc", 3, 0, 7);
+}
+
+#[cfg(unix)]
+#[test]
+fn tc_globals_match_across_transports() {
+    // Triangle count is all-global output: exercises the partial global
+    // reduction and the GlobalsFinal broadcast end to end.
+    check_transports_agree("tc", 3, 2, 8);
+}
+
+#[cfg(unix)]
+#[test]
+fn single_worker_process_matches_local() {
+    // Degenerate fleet: one child owns every machine; the coordinator
+    // still runs barriers, frontier votes, and global reduction.
+    check_transports_agree("wcc", 2, 1, 9);
+}
+
+/// The `net/bytes` observability counter under the local transport equals
+/// the `net_bytes` the run metrics report (the pre-transport counter's
+/// contract, preserved).
+#[test]
+fn local_net_bytes_counter_matches_metrics() {
+    let (base, batches) = random_workload(13, 24, 40, 2, 6);
+    let mut input = GraphInput::undirected(base);
+    input.num_vertices = 24;
+    let mut sess = SessionBuilder::from_config(EngineConfig::default())
+        .machines(3)
+        .observer(itg_obs::Recorder::enabled())
+        .from_source(&programs::source("wcc").unwrap(), &input)
+        .unwrap();
+
+    let m = sess.run_oneshot();
+    let prof = m.profile.as_ref().expect("recorder enabled");
+    assert!(m.io.net_bytes > 0, "multi-machine WCC must exchange bytes");
+    assert_eq!(prof.counter_total("net/bytes"), m.io.net_bytes);
+
+    for batch in &batches {
+        sess.apply_mutations(batch);
+        let m = sess.run_incremental();
+        let prof = m.profile.as_ref().expect("recorder enabled");
+        assert_eq!(prof.counter_total("net/bytes"), m.io.net_bytes);
+    }
+}
+
+/// `global_value` with an out-of-range superstep is an error, not a
+/// silent clamp.
+#[test]
+fn global_value_out_of_range_superstep_is_an_error() {
+    use itg_engine::EngineError;
+    let input = GraphInput::undirected(vec![(0, 1), (1, 2), (0, 2)]);
+    let mut sess = SessionBuilder::from_config(EngineConfig::default())
+        .machines(2)
+        .from_source(&programs::source("tc").unwrap(), &input)
+        .unwrap();
+    let m = sess.run_oneshot();
+
+    // In range: the last executed superstep and None (= 0) both resolve.
+    assert!(sess.global_value("cnts", None).is_ok());
+    assert!(sess.global_value("cnts", Some(m.supersteps - 1)).is_ok());
+
+    // Out of range: a BadSuperstep error carrying both sides.
+    match sess.global_value("cnts", Some(m.supersteps)) {
+        Err(EngineError::BadSuperstep { requested, executed }) => {
+            assert_eq!(requested, m.supersteps);
+            assert_eq!(executed, m.supersteps);
+        }
+        other => panic!("expected BadSuperstep, got {other:?}"),
+    }
+}

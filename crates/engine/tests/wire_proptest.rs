@@ -1,0 +1,187 @@
+//! Property tests for the versioned wire format: every [`Payload`] the
+//! transports exchange must round-trip through `encode_payload` /
+//! `decode_payload` losslessly, re-encode to byte-identical frames (the
+//! canonical-form property the coordinator's zero-copy relay path relies
+//! on), and never panic on truncated input. Includes the edge cases the
+//! protocol actually produces: empty inboxes (all-empty `Contribs`
+//! vectors) and maximum-size frontier votes.
+
+use itg_engine::accum::Contribution;
+use itg_engine::wire::{decode_payload, encode_payload};
+use itg_engine::Payload;
+use itg_gsa::accm::CountedAccm;
+use itg_gsa::{Value, VertexId};
+use itg_store::{EdgeMutation, MutationBatch};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::strategy::Strategy;
+
+// The vendored proptest has no `prop_oneof`; variants are selected by an
+// index drawn alongside all the ingredients.
+
+fn arb_prim_value() -> impl Strategy<Value = Value> {
+    (0usize..5, any::<u64>(), any::<f64>()).prop_map(|(k, bits, f)| match k {
+        0 => Value::Bool(bits & 1 == 1),
+        1 => Value::Int(bits as i32),
+        2 => Value::Long(bits as i64),
+        // `any::<f64>()` draws from [0, 1): always finite, so `Value`'s
+        // IEEE equality is reflexive for the equality half of the
+        // property. The NaN unit test below covers byte-stability.
+        3 => Value::Float(f as f32),
+        _ => Value::Double(f),
+    })
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    (0usize..5, arb_prim_value(), vec(arb_prim_value(), 0..4)).prop_map(|(k, prim, arr)| {
+        if k == 0 {
+            Value::Array(arr)
+        } else {
+            prim
+        }
+    })
+}
+
+fn arb_contribution() -> impl Strategy<Value = Contribution> {
+    (
+        arb_value(),
+        any::<i64>(),
+        (any::<bool>(), arb_value(), any::<u64>()),
+        vec(arb_value(), 0..3),
+    )
+        .prop_map(|(folded, count, (has_monoid, mv, mc), retractions)| Contribution {
+            folded,
+            count,
+            monoid: has_monoid.then_some(CountedAccm { value: mv, count: mc }),
+            retractions,
+        })
+}
+
+fn arb_vertex_contribs() -> impl Strategy<Value = Vec<Vec<(VertexId, Contribution)>>> {
+    vec(vec((any::<VertexId>(), arb_contribution()), 0..4), 0..3)
+}
+
+fn arb_sets() -> impl Strategy<Value = Vec<Vec<VertexId>>> {
+    vec(vec(any::<VertexId>(), 0..5), 0..3)
+}
+
+fn arb_mutation() -> impl Strategy<Value = EdgeMutation> {
+    (any::<VertexId>(), any::<VertexId>(), any::<bool>()).prop_map(|(src, dst, ins)| {
+        if ins {
+            EdgeMutation::insert(src, dst)
+        } else {
+            EdgeMutation::delete(src, dst)
+        }
+    })
+}
+
+fn arb_payload() -> impl Strategy<Value = Payload> {
+    (
+        0usize..16,
+        (any::<u32>(), any::<u64>(), any::<u64>(), any::<bool>()),
+        (
+            arb_vertex_contribs(),
+            vec(arb_contribution(), 0..3),
+            vec(arb_value(), 0..3),
+        ),
+        (arb_sets(), vec(arb_mutation(), 0..6)),
+    )
+        .prop_map(
+            |(k, (from, seq, active, flag), (vertex, globals, values), (sets, muts))| match k {
+                0 => Payload::RunOneshot,
+                1 => Payload::RunIncremental,
+                2 => Payload::Compact,
+                3 => Payload::Shutdown,
+                4 => Payload::Hello { rank: from },
+                5 => Payload::Contribs { from, vertex },
+                6 => Payload::GlobalsPartial { from, globals },
+                7 => Payload::Frontier {
+                    from,
+                    superstep: seq,
+                    active,
+                },
+                8 => Payload::FrontierTotal {
+                    superstep: seq,
+                    active,
+                },
+                9 => Payload::RecomputeSets { from, sets },
+                10 => Payload::RecomputeUnion { sets },
+                11 => Payload::GlobalsDecision { recompute: flag },
+                12 => Payload::GlobalsFinal {
+                    values,
+                    changed: flag,
+                },
+                13 => Payload::Mutations(MutationBatch::new(muts)),
+                14 => Payload::BarrierAck { from, seq },
+                _ => Payload::Barrier { seq },
+            },
+        )
+}
+
+proptest! {
+    /// Lossless round-trip plus canonical re-encoding for every payload.
+    #[test]
+    fn payload_roundtrips_and_reencodes_identically(p in arb_payload()) {
+        let bytes = encode_payload(&p);
+        let back = decode_payload(&bytes).expect("generated payloads decode");
+        prop_assert_eq!(&back, &p);
+        prop_assert_eq!(encode_payload(&back), bytes);
+    }
+
+    /// Truncating an encoded payload never panics the decoder.
+    #[test]
+    fn truncated_payloads_never_panic(p in arb_payload(), cut in 0usize..64) {
+        let bytes = encode_payload(&p);
+        let cut = cut.min(bytes.len());
+        let _ = decode_payload(&bytes[..cut]);
+    }
+
+    /// Frontier votes cover the full `u64` range (the "max-size frontier"
+    /// case: a vote of `u64::MAX` active vertices must survive the wire).
+    #[test]
+    fn frontier_votes_roundtrip_across_the_range(
+        from in any::<u32>(),
+        pick in 0usize..3,
+        raw in any::<u64>(),
+    ) {
+        let active = match pick {
+            0 => 0,
+            1 => u64::MAX,
+            _ => raw,
+        };
+        let p = Payload::Frontier { from, superstep: raw, active };
+        prop_assert_eq!(decode_payload(&encode_payload(&p)).unwrap(), p);
+        let t = Payload::FrontierTotal { superstep: u64::MAX, active };
+        prop_assert_eq!(decode_payload(&encode_payload(&t)).unwrap(), t);
+    }
+}
+
+/// An exchange with nothing to say — the empty inbox every converged
+/// superstep produces — still crosses the wire as a well-formed frame.
+#[test]
+fn empty_inbox_contribs_roundtrip() {
+    for vertex in [Vec::new(), vec![Vec::new(), Vec::new()]] {
+        let p = Payload::Contribs { from: 3, vertex };
+        let bytes = encode_payload(&p);
+        assert_eq!(decode_payload(&bytes).unwrap(), p);
+        assert_eq!(encode_payload(&decode_payload(&bytes).unwrap()), bytes);
+    }
+    let p = Payload::GlobalsPartial {
+        from: 0,
+        globals: Vec::new(),
+    };
+    assert_eq!(decode_payload(&encode_payload(&p)).unwrap(), p);
+}
+
+/// NaN payloads are not equal to themselves, but their encoding is still
+/// byte-stable through a decode/re-encode cycle.
+#[test]
+fn nan_values_are_byte_stable() {
+    let p = Payload::GlobalsFinal {
+        values: vec![Value::Double(f64::NAN), Value::Float(f32::NAN)],
+        changed: true,
+    };
+    let bytes = encode_payload(&p);
+    let back = decode_payload(&bytes).unwrap();
+    assert_eq!(encode_payload(&back), bytes);
+}

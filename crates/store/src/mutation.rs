@@ -27,7 +27,7 @@ impl EdgeMutation {
 
 /// A batch of mutations applied atomically as one snapshot transition
 /// `G_{t-1} → G_t`.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MutationBatch {
     pub edges: Vec<EdgeMutation>,
 }
@@ -74,6 +74,39 @@ impl MutationBatch {
         self.edges.iter().map(|e| e.src.max(e.dst)).max()
     }
 
+    /// Serialize to the little-endian wire layout used by the engine's
+    /// transport when shipping a batch to partition worker processes:
+    /// `[count: u64][src: u64, dst: u64, mult: i8]*`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.edges.len() * 17);
+        out.extend_from_slice(&(self.edges.len() as u64).to_le_bytes());
+        for e in &self.edges {
+            out.extend_from_slice(&e.src.to_le_bytes());
+            out.extend_from_slice(&e.dst.to_le_bytes());
+            out.push(e.mult as u8);
+        }
+        out
+    }
+
+    /// Decode the [`MutationBatch::encode`] layout; `None` on a length
+    /// mismatch or trailing bytes.
+    pub fn decode(bytes: &[u8]) -> Option<MutationBatch> {
+        let count = u64::from_le_bytes(bytes.get(0..8)?.try_into().ok()?) as usize;
+        let body = &bytes[8..];
+        if body.len() != count.checked_mul(17)? {
+            return None;
+        }
+        let mut edges = Vec::with_capacity(count);
+        for rec in body.chunks_exact(17) {
+            edges.push(EdgeMutation {
+                src: u64::from_le_bytes(rec[0..8].try_into().ok()?),
+                dst: u64::from_le_bytes(rec[8..16].try_into().ok()?),
+                mult: rec[16] as i8,
+            });
+        }
+        Some(MutationBatch { edges })
+    }
+
     /// Consolidate to net multiplicities per edge: an insert and a delete
     /// of the same edge within one batch cancel (the ±1 multiset model),
     /// and duplicates collapse to a single ±1 mutation. Stores ingest the
@@ -114,5 +147,26 @@ mod tests {
         assert_eq!(m.inserts().count(), 2);
         assert_eq!(m.deletes().count(), 2);
         assert_eq!(m.max_vertex(), Some(4));
+    }
+
+    #[test]
+    fn encode_roundtrips() {
+        let b = MutationBatch::new(vec![
+            EdgeMutation::insert(0, u64::MAX),
+            EdgeMutation::delete(7, 3),
+        ]);
+        assert_eq!(MutationBatch::decode(&b.encode()), Some(b.clone()));
+        let empty = MutationBatch::default();
+        assert_eq!(MutationBatch::decode(&empty.encode()), Some(empty));
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let bytes = MutationBatch::new(vec![EdgeMutation::insert(1, 2)]).encode();
+        assert_eq!(MutationBatch::decode(&bytes[..bytes.len() - 1]), None);
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(MutationBatch::decode(&trailing), None);
+        assert_eq!(MutationBatch::decode(&[]), None);
     }
 }

@@ -20,6 +20,11 @@ pub(crate) struct StoreObs {
     pub(crate) disk_read_bytes: itg_obs::HistHandle,
     pub(crate) disk_write_bytes: itg_obs::HistHandle,
     pub(crate) net_bytes: itg_obs::HistHandle,
+    /// Aggregate counter mirror of the `net_bytes` histogram, under the
+    /// transport layer's `net/` family: `profile.counter_total("net/bytes")`
+    /// equals the simulated-network byte counter for sessions whose
+    /// exchange runs through `LocalTransport`.
+    pub(crate) net_bytes_total: itg_obs::CounterHandle,
     pub(crate) attr_load_ns: itg_obs::HistHandle,
     pub(crate) attr_load: itg_obs::SpanHandle,
     pub(crate) attr_record: itg_obs::SpanHandle,
@@ -32,6 +37,7 @@ impl StoreObs {
             disk_read_bytes: rec.hist("store/disk_read_bytes"),
             disk_write_bytes: rec.hist("store/disk_write_bytes"),
             net_bytes: rec.hist("store/net_bytes"),
+            net_bytes_total: rec.counter("net/bytes"),
             attr_load_ns: rec.hist("store/attr_load_ns"),
             attr_load: rec.span("store/attr_load"),
             attr_record: rec.span("store/attr_record"),
@@ -132,6 +138,7 @@ impl IoStats {
     pub fn add_net(&self, bytes: u64) {
         self.inner.net_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.obs.net_bytes.observe(bytes);
+        self.obs.net_bytes_total.add(bytes);
     }
 
     #[inline]
@@ -196,6 +203,7 @@ mod tests {
         assert_eq!(p.hist("store/disk_read_bytes").unwrap().sum, 4096);
         assert_eq!(p.hist("store/disk_write_bytes").unwrap().sum, 128);
         assert_eq!(p.hist("store/net_bytes").unwrap().sum, 64);
+        assert_eq!(p.counter_total("net/bytes"), 64);
         // The aggregate counters are unaffected by observability.
         assert_eq!(s.snapshot().disk_read_bytes, 4096);
     }

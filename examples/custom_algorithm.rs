@@ -43,9 +43,9 @@ fn main() {
         (6, 7),
     ];
     let graph = GraphInput::undirected(edges);
-    let mut session =
-        Session::from_source(TWO_HOP_INFLUENCE, &graph, EngineConfig::default())
-            .expect("custom program compiles");
+    let mut session = SessionBuilder::new()
+        .from_source(TWO_HOP_INFLUENCE, &graph)
+        .expect("custom program compiles");
 
     println!("compiled plans for a user-defined NGA program:");
     println!("{}", session.program.algebra.explain());

@@ -22,12 +22,9 @@ fn main() {
     // Triangle Counting in L_NGA (Figure 5 of the paper): a 3-hop
     // neighbor-centric traversal as three nested For loops. No incremental
     // logic is written anywhere — the compiler derives P_ΔQ from P_Q.
-    let mut session = Session::from_source(
-        iturbograph::algorithms::TRIANGLE_COUNT,
-        &g0,
-        EngineConfig::default(),
-    )
-    .expect("program compiles");
+    let mut session = SessionBuilder::new()
+        .from_source(iturbograph::algorithms::TRIANGLE_COUNT, &g0)
+        .expect("program compiles");
 
     // Inspect the compiled plans.
     println!("=== one-shot plan P_Q ===\n{}", session.program.algebra.explain());

@@ -18,12 +18,10 @@ fn main() {
     let mut input = GraphInput::undirected(workload.initial.clone());
     input.num_vertices = n;
 
-    let mut session = Session::from_source(
-        iturbograph::algorithms::LCC,
-        &input,
-        EngineConfig::with_machines(4),
-    )
-    .expect("LCC compiles");
+    let mut session = SessionBuilder::new()
+        .machines(4)
+        .from_source(iturbograph::algorithms::LCC, &input)
+        .expect("LCC compiles");
 
     let one = session.run_oneshot();
     println!("one-shot LCC over {} friendships: {}", workload.alive_len(), one.summary());

@@ -16,18 +16,13 @@ fn main() {
     let mut input = GraphInput::directed(workload.initial.clone());
     input.num_vertices = cfg.num_vertices();
 
-    let engine_cfg = EngineConfig {
-        machines: 2,
-        max_supersteps: 10,
-        maintenance: MaintenancePolicy::CostBased,
-        ..EngineConfig::default()
-    };
-    let mut session = Session::from_source(
-        iturbograph::algorithms::PAGERANK,
-        &input,
-        engine_cfg,
-    )
-    .expect("PageRank compiles");
+    let mut session = SessionBuilder::new()
+        .machines(2)
+        .parallel(false)
+        .max_supersteps(10)
+        .maintenance(MaintenancePolicy::CostBased)
+        .from_source(iturbograph::algorithms::PAGERANK, &input)
+        .expect("PageRank compiles");
 
     let t0 = Instant::now();
     let one = session.run_oneshot();

@@ -20,12 +20,12 @@ fn main() {
     };
 
     // Incremental session.
-    let mut session = Session::from_source(
-        iturbograph::algorithms::TRIANGLE_COUNT,
-        &mk_input(workload.initial.clone()),
-        EngineConfig::default(),
-    )
-    .expect("TC compiles");
+    let mut session = SessionBuilder::new()
+        .from_source(
+            iturbograph::algorithms::TRIANGLE_COUNT,
+            &mk_input(workload.initial.clone()),
+        )
+        .expect("TC compiles");
     let one = session.run_oneshot();
     println!(
         "initial graph: {} edges, {} triangles ({:.3}s one-shot)",
@@ -55,12 +55,9 @@ fn main() {
         let incremental_count = session.global_value("cnts", None).unwrap();
 
         // Naive alternative: re-run the one-shot analytics from scratch.
-        let mut fresh = Session::from_source(
-            iturbograph::algorithms::TRIANGLE_COUNT,
-            &mk_input(alive.clone()),
-            EngineConfig::default(),
-        )
-        .unwrap();
+        let mut fresh = SessionBuilder::new()
+            .from_source(iturbograph::algorithms::TRIANGLE_COUNT, &mk_input(alive.clone()))
+            .unwrap();
         let rerun = fresh.run_oneshot();
         assert_eq!(incremental_count, fresh.global_value("cnts", None).unwrap());
 
