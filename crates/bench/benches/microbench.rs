@@ -215,6 +215,60 @@ fn bench_obs_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// WAL overhead: the same one-shot + incremental PageRank workload with
+/// durability off vs on. The `durability_none` rows pin the non-durable
+/// fast path — `DurabilityKind::None` must stay at the pre-WAL baseline
+/// (no regression from adding the durability layer); the `durability_wal`
+/// rows document the fsync-per-command price of crash safety.
+fn bench_wal_overhead(c: &mut Criterion) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+    let mut group = c.benchmark_group("wal_overhead");
+    group.sample_size(10);
+    for (label, durable) in [("durability_none", false), ("durability_wal", true)] {
+        group.bench_function(BenchmarkId::new("pr_oneshot_plus_batch", label), |b| {
+            b.iter_batched(
+                || {
+                    let durability = if durable {
+                        let i = NEXT_DIR.fetch_add(1, Ordering::Relaxed);
+                        let dir = std::env::temp_dir()
+                            .join(format!("itg-bench-wal-{}-{i}", std::process::id()));
+                        let _ = std::fs::remove_dir_all(&dir);
+                        DurabilityKind::Wal { dir }
+                    } else {
+                        DurabilityKind::None
+                    };
+                    let mut ds = Dataset::rmat_directed("b", 11, 7);
+                    let batch = ds.next_batch(50, 75);
+                    (ds, batch, durability)
+                },
+                |(ds, batch, durability)| {
+                    let cfg = EngineConfig {
+                        max_supersteps: 10,
+                        durability: durability.clone(),
+                        ..EngineConfig::default()
+                    };
+                    let mut s = Session::from_source(
+                        iturbograph::algorithms::PAGERANK,
+                        &ds.graph_input(),
+                        cfg,
+                    )
+                    .unwrap();
+                    s.run_oneshot();
+                    s.apply_mutations(&batch);
+                    let m = s.run_incremental();
+                    if let DurabilityKind::Wal { dir } = &durability {
+                        let _ = std::fs::remove_dir_all(dir);
+                    }
+                    m
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
 fn bench_graphgen(c: &mut Criterion) {
     c.bench_function("rmat_generate_2e14", |b| {
         b.iter(|| generate(&RmatConfig::paper_scale(14, 9)).len());
@@ -231,6 +285,7 @@ criterion_group!(
     bench_accumulate,
     bench_baseline_arrangement,
     bench_obs_overhead,
+    bench_wal_overhead,
     bench_graphgen,
 );
 criterion_main!(benches);

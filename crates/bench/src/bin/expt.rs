@@ -5,8 +5,13 @@
 //! ```text
 //! cargo run --release -p itg-bench --bin expt -- <table6|fig12|fig13|fig14|
 //!     fig15a|fig15b|fig16a|fig16b|fig17|scaling|profile|all>
-//!     [--profile FILE] [--transport local|process]
+//!     [--profile FILE] [--transport local|process] [--durable]
 //! ```
+//!
+//! `--durable` runs every iTurboGraph session with the write-ahead log
+//! enabled (a fresh WAL directory per session under the system temp dir),
+//! so any experiment doubles as a WAL-overhead measurement against its
+//! published non-durable numbers. It requires the in-process transport.
 //!
 //! `scaling` is not a paper artifact: it measures intra-partition thread
 //! scaling (`threads_per_machine` ∈ {1, 2, 4}) on a skewed RMAT graph.
@@ -25,6 +30,9 @@ use iturbograph::prelude::*;
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let profile_out = take_flag_value(&mut args, "--profile");
+    if take_flag(&mut args, "--durable") {
+        DURABLE.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
     match take_flag_value(&mut args, "--transport").as_deref() {
         None | Some("local") => {}
         Some("process") => {
@@ -36,6 +44,10 @@ fn main() {
             eprintln!("unknown transport `{other}` (try local|process)");
             std::process::exit(2);
         }
+    }
+    if durable() && matches!(transport_kind(), TransportKind::Process { .. }) {
+        eprintln!("--durable requires --transport local (WAL is coordinator-side)");
+        std::process::exit(2);
     }
     if profile_out.is_some() && !itg_obs::init_global(true) {
         eprintln!("warning: global recorder already initialized; --profile may be partial");
@@ -79,6 +91,16 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+}
+
+/// Remove a bare `--flag` from `args`, returning whether it was present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
     }
 }
 
@@ -165,11 +187,33 @@ fn transport_kind() -> TransportKind {
     TRANSPORT.get().copied().unwrap_or(TransportKind::Local)
 }
 
+/// The global `--durable` flag: every session gets a WAL.
+static DURABLE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+fn durable() -> bool {
+    DURABLE.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Under `--durable`, a fresh WAL directory per session (a durable session
+/// refuses to open over an existing manifest — that path is
+/// `Session::recover`'s).
+fn durability_kind() -> DurabilityKind {
+    if !durable() {
+        return DurabilityKind::None;
+    }
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let i = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("itg-expt-wal-{}-{i}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    DurabilityKind::Wal { dir }
+}
+
 fn single_machine_cfg(algo: &str) -> EngineConfig {
     EngineConfig {
         machines: 1,
         max_supersteps: superstep_cap(algo),
         transport: transport_kind(),
+        durability: durability_kind(),
         ..EngineConfig::default()
     }
 }
@@ -180,6 +224,7 @@ fn cluster_cfg(algo: &str, machines: usize) -> EngineConfig {
         parallel: true,
         max_supersteps: superstep_cap(algo),
         transport: transport_kind(),
+        durability: durability_kind(),
         ..EngineConfig::default()
     }
 }
@@ -225,7 +270,7 @@ fn table6() {
             let (ins, del): (Vec<_>, Vec<_>) = {
                 let mut ins = Vec::new();
                 let mut del = Vec::new();
-                for m in &batch.edges {
+                for m in batch.edges() {
                     let pairs: Vec<(u64, u64)> = if ds.undirected {
                         vec![(m.src, m.dst), (m.dst, m.src)]
                     } else {

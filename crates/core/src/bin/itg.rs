@@ -79,11 +79,13 @@ fn run(args: &[String]) -> Result<(), String> {
             } else {
                 GraphInput::directed(edges)
             };
+            // Seed from the environment so the consolidated knobs
+            // (`ITG_WAL_DIR`, `ITG_PROFILE`, …) work on the CLI surface.
             let cfg = EngineConfig {
                 machines,
                 parallel: machines > 1,
                 max_supersteps: max_ss,
-                ..EngineConfig::default()
+                ..EngineConfig::from_env()
             };
             let mut session =
                 Session::from_source(&src, &input, cfg).map_err(|e| e.to_string())?;

@@ -61,11 +61,11 @@ pub mod algorithms {
 pub mod prelude {
     pub use itg_compiler::{compile_source, CompiledProgram};
     pub use itg_engine::{
-        EngineConfig, GraphInput, OptFlags, RunKind, RunMetrics, Session, SessionBuilder,
-        TransportKind,
+        DurabilityKind, EngineConfig, GraphInput, OptFlags, RunKind, RunMetrics, Session,
+        SessionBuilder, SnapshotId, TransportKind,
     };
     pub use itg_gsa::{Value, VertexId};
-    pub use itg_store::{EdgeMutation, MaintenancePolicy, MutationBatch};
+    pub use itg_store::{BatchReceipt, EdgeMutation, MaintenancePolicy, MutationBatch};
 }
 
 #[cfg(test)]

@@ -27,6 +27,7 @@
 //! ```
 
 use crate::config::{EngineConfig, OptFlags};
+use crate::durability::DurabilityKind;
 use crate::graph::GraphInput;
 use crate::session::{EngineError, Session};
 use crate::transport::TransportKind;
@@ -90,6 +91,18 @@ impl SessionBuilder {
     /// Observability recorder for the session, its stores, and walkers.
     pub fn observer(mut self, rec: itg_obs::Recorder) -> SessionBuilder {
         self.cfg.obs = rec;
+        self
+    }
+
+    /// Durability: [`DurabilityKind::Wal`] logs every state-changing
+    /// command to a write-ahead log in the given directory before
+    /// executing it, and [`crate::Session::checkpoint`] /
+    /// [`crate::Session::recover`] provide snapshot recovery (DESIGN.md
+    /// §9). Overrides the `ITG_WAL_DIR` environment knob; requires
+    /// [`TransportKind::Local`] and a source-built session
+    /// ([`SessionBuilder::from_source`]).
+    pub fn durability(mut self, kind: DurabilityKind) -> SessionBuilder {
+        self.cfg.durability = kind;
         self
     }
 

@@ -5,6 +5,7 @@
 //! explicit builder/setter call always wins over the environment, which in
 //! turn wins over the built-in default.
 
+use crate::durability::DurabilityKind;
 use crate::transport::TransportKind;
 use itg_store::MaintenancePolicy;
 
@@ -81,6 +82,12 @@ pub struct EngineConfig {
     /// [`TransportKind::Process`] runs partition groups in separate
     /// `itg-partition-worker` OS processes coordinated over pipes.
     pub transport: TransportKind,
+    /// Durability: [`DurabilityKind::None`] (default) or
+    /// [`DurabilityKind::Wal`], which logs every state-changing command to
+    /// a write-ahead log before executing it and checkpoints full-state
+    /// snapshots for [`crate::Session::recover`] (DESIGN.md §9). Only
+    /// supported with [`TransportKind::Local`].
+    pub durability: DurabilityKind,
     /// Observability recorder threaded through the session, its stores,
     /// and its walkers. Defaults to a clone of [`itg_obs::global`] — a
     /// no-op unless the `ITG_PROFILE` environment variable enables it (or
@@ -108,6 +115,7 @@ impl Default for EngineConfig {
             parallel: false,
             threads_per_machine: default_threads_per_machine(),
             transport: TransportKind::Local,
+            durability: DurabilityKind::None,
             obs: itg_obs::global().clone(),
         }
     }
@@ -147,6 +155,7 @@ impl EngineConfig {
     /// |----------------------------|----------------------------------------|
     /// | `ITG_THREADS_PER_MACHINE`  | `threads_per_machine` (integer ≥ 1)    |
     /// | `ITG_PROFILE`              | any non-empty value enables `obs`      |
+    /// | `ITG_WAL_DIR`              | `durability = Wal { dir }`             |
     ///
     /// Precedence: an explicit setter/builder call after this constructor
     /// overrides the environment, which overrides the built-in default.
@@ -164,6 +173,11 @@ impl EngineConfig {
         }
         if get("ITG_PROFILE").is_some_and(|v| !v.trim().is_empty()) {
             cfg.obs = itg_obs::Recorder::enabled();
+        }
+        if let Some(dir) = get("ITG_WAL_DIR").filter(|v| !v.trim().is_empty()) {
+            cfg.durability = DurabilityKind::Wal {
+                dir: std::path::PathBuf::from(dir.trim()),
+            };
         }
         cfg
     }
@@ -219,6 +233,27 @@ mod tests {
         });
         assert_eq!(junk.threads_per_machine, 1);
         assert!(!junk.obs.is_enabled());
+    }
+
+    #[test]
+    fn wal_dir_env_enables_durability() {
+        let base = EngineConfig::from_env_lookup(|_| None);
+        assert_eq!(base.durability, DurabilityKind::None);
+
+        let env = EngineConfig::from_env_lookup(|k| {
+            (k == "ITG_WAL_DIR").then(|| " /tmp/itg-wal ".into())
+        });
+        assert_eq!(
+            env.durability,
+            DurabilityKind::Wal {
+                dir: "/tmp/itg-wal".into()
+            }
+        );
+
+        // Blank values stay disabled.
+        let blank =
+            EngineConfig::from_env_lookup(|k| (k == "ITG_WAL_DIR").then(|| "  ".into()));
+        assert_eq!(blank.durability, DurabilityKind::None);
     }
 
     #[test]

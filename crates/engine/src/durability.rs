@@ -1,0 +1,460 @@
+//! Durability: write-ahead logging and snapshot recovery (DESIGN.md §9).
+//!
+//! A durable session logs every state-changing command — the one-shot run,
+//! each mutation batch, each incremental run, each compaction — to a
+//! [`Wal`] *before* executing it. Because the engine's execution is
+//! deterministic given the stores and the command sequence (for every
+//! thread count — see [`crate::EngineConfig::threads_per_machine`]),
+//! recovery is: load the latest snapshot named by `manifest.json`, then
+//! re-execute the WAL tail from the manifest's `wal_start`. The recovered
+//! session's attribute values, global history, and store epochs are
+//! byte-identical to the pre-crash state — a torn final WAL record (the
+//! process died mid-append) is truncated, everything else replays.
+//!
+//! Snapshots serialize the *full* session state: the compiled program's
+//! source text, the deterministic configuration subset, every partition's
+//! edge-store segment chains (structure preserved exactly — flattening
+//! would change neighbor scan order and hence float accumulation order),
+//! both attribute stores with their delta chains, the working arrays, the
+//! global accumulator history, and the per-snapshot superstep counts.
+//!
+//! Environment: `ITG_WAL_DIR=<dir>` enables durability from the
+//! environment (a [`crate::SessionBuilder::durability`] call wins);
+//! `ITG_CRASH_AT=<lsn>` / `ITG_CRASH_TORN=1` are the fault-injection
+//! knobs of the kill-and-recover test (see `itg_store::wal`).
+
+use crate::accum::AccmLayout;
+use crate::config::EngineConfig;
+use crate::graph::ClusterGraph;
+use crate::session::{EngineError, PartitionState, Plane, Session, SessionObs};
+use crate::transport::{LocalTransport, TransportKind};
+use itg_gsa::value::ColumnData;
+use itg_gsa::FxHashSet;
+use itg_store::codec::{CodecError, CodecResult, Reader, Writer};
+use itg_store::snapshot::{get_column, get_value, put_column, put_value};
+use itg_store::wal::{Wal, WalEntry, WalScan};
+use itg_store::{AttrStore, Manifest, MaintenancePolicy, SnapshotEntry};
+use std::path::{Path, PathBuf};
+
+/// Snapshot-payload format version (inside the checksummed
+/// [`itg_store::snapshot`] container, which carries its own magic).
+const SESSION_SNAPSHOT_VERSION: u8 = 1;
+
+/// Whether and where a session persists its command history.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum DurabilityKind {
+    /// No durability: state lives and dies with the process (the default,
+    /// and the PR 3 baseline the `wal_overhead` benchmark pins).
+    #[default]
+    None,
+    /// Write-ahead logging into `dir` (`wal.log`, `manifest.json`, and
+    /// `snapshot-<epoch>.bin` files), with an epoch-0 snapshot written at
+    /// session creation so recovery always has a base.
+    Wal { dir: PathBuf },
+}
+
+/// The identifier [`Session::checkpoint`] returns: the snapshot's epoch in
+/// `manifest.json`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SnapshotId(pub u64);
+
+/// The open WAL plus the durability instruments, attached to a session.
+pub(crate) struct DurableLog {
+    dir: PathBuf,
+    wal: Wal,
+    /// Set during recovery replay: re-executed commands must not re-append.
+    pub(crate) replaying: bool,
+    append_ns: itg_obs::HistHandle,
+    fsyncs: itg_obs::CounterHandle,
+    replayed: itg_obs::CounterHandle,
+    enabled: bool,
+}
+
+impl std::fmt::Debug for DurableLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableLog")
+            .field("dir", &self.dir)
+            .field("next_lsn", &self.wal.next_lsn())
+            .field("replaying", &self.replaying)
+            .finish()
+    }
+}
+
+impl DurableLog {
+    pub(crate) fn open(
+        dir: &Path,
+        rec: &itg_obs::Recorder,
+    ) -> Result<(DurableLog, WalScan), EngineError> {
+        let (wal, scan) = Wal::open(dir).map_err(durability_err)?;
+        Ok((
+            DurableLog {
+                dir: dir.to_path_buf(),
+                wal,
+                replaying: false,
+                append_ns: rec.hist("wal/append_ns"),
+                fsyncs: rec.counter("wal/fsync"),
+                replayed: rec.counter("recovery/replayed_records"),
+                enabled: rec.is_enabled(),
+            },
+            scan,
+        ))
+    }
+
+    /// Log one command before execution. A no-op during recovery replay
+    /// (the record is already in the log).
+    fn append(&mut self, entry: &WalEntry) -> Result<(), EngineError> {
+        if self.replaying {
+            return Ok(());
+        }
+        let t0 = self.enabled.then(std::time::Instant::now);
+        self.wal.append(entry).map_err(durability_err)?;
+        self.fsyncs.add(1);
+        if let Some(t0) = t0 {
+            self.append_ns.observe(t0.elapsed().as_nanos() as u64);
+        }
+        Ok(())
+    }
+}
+
+fn durability_err(e: impl std::fmt::Display) -> EngineError {
+    EngineError::Durability(e.to_string())
+}
+
+impl Session {
+    /// Open the configured durability plane. Called once from
+    /// [`Session::new`] for [`TransportKind::Local`] sessions; writes the
+    /// epoch-0 snapshot so recovery always has a base to replay onto.
+    pub(crate) fn attach_durability(&mut self) -> Result<(), EngineError> {
+        let DurabilityKind::Wal { dir } = self.cfg.durability.clone() else {
+            return Ok(());
+        };
+        if self.program.source.is_empty() {
+            return Err(EngineError::Unsupported(
+                "durable sessions need the program's source text for \
+                 snapshots; build with `from_source` (or `compile_source`), \
+                 not a program compiled without source"
+                    .into(),
+            ));
+        }
+        let manifest = Manifest::load(&dir).map_err(durability_err)?;
+        if manifest.latest().is_some() {
+            return Err(EngineError::Durability(format!(
+                "{} already contains a manifest; recover the existing \
+                 history with Session::recover instead of creating a new \
+                 session over it",
+                dir.display()
+            )));
+        }
+        let (log, scan) = DurableLog::open(&dir, &self.cfg.obs)?;
+        if !scan.records.is_empty() {
+            return Err(EngineError::Durability(format!(
+                "{} has WAL records but no manifest; refusing to overwrite \
+                 an unrecoverable history",
+                dir.display()
+            )));
+        }
+        self.durable = Some(log);
+        self.checkpoint()?;
+        Ok(())
+    }
+
+    /// Log one command ahead of executing it; panics on a WAL IO failure
+    /// (continuing would silently drop durability, and the infallible run
+    /// APIs have no error channel).
+    pub(crate) fn log_command(&mut self, entry: &WalEntry) {
+        if let Some(d) = &mut self.durable {
+            d.append(entry).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    /// Write a full-state snapshot, register it in `manifest.json`, and
+    /// return its epoch. Subsequent recovery replays only WAL records
+    /// appended after this point. Errors on a session without
+    /// [`DurabilityKind::Wal`].
+    pub fn checkpoint(&mut self) -> Result<SnapshotId, EngineError> {
+        let Some(d) = &self.durable else {
+            return Err(EngineError::Unsupported(
+                "checkpoint on a session without durability (enable with \
+                 SessionBuilder::durability or ITG_WAL_DIR)"
+                    .into(),
+            ));
+        };
+        let dir = d.dir.clone();
+        let wal_start = d.wal.next_lsn();
+        let mut manifest = Manifest::load(&dir).map_err(durability_err)?;
+        let epoch = manifest.next_epoch();
+        let file = format!("snapshot-{epoch}.bin");
+
+        let mut w = Writer::new();
+        self.encode_state(&mut w);
+        itg_store::snapshot::write_file(&dir.join(&file), &w.buf)
+            .map_err(durability_err)?;
+        // Register only after the snapshot file is durably in place: a
+        // crash between the two leaves an unreferenced file, never a
+        // manifest pointing at garbage.
+        manifest.snapshots.push(SnapshotEntry {
+            epoch,
+            file,
+            wal_start,
+        });
+        manifest.store(&dir).map_err(durability_err)?;
+        Ok(SnapshotId(epoch))
+    }
+
+    /// Rebuild a session from a durability directory: load the latest
+    /// snapshot named by `manifest.json`, then re-execute the WAL tail
+    /// (records with `lsn >= wal_start`). A torn final record is truncated;
+    /// any other WAL damage is an error. The recovered session logs into
+    /// the same directory and observes through [`itg_obs::global`].
+    pub fn recover(dir: impl AsRef<Path>) -> Result<Session, EngineError> {
+        let dir = dir.as_ref();
+        let manifest = Manifest::load(dir).map_err(durability_err)?;
+        let Some(latest) = manifest.latest() else {
+            return Err(EngineError::Durability(format!(
+                "{} has no manifest (or an empty one); nothing to recover",
+                dir.display()
+            )));
+        };
+        let payload = itg_store::snapshot::read_file(&dir.join(&latest.file))
+            .map_err(durability_err)?;
+        let mut r = Reader::new(&payload);
+        let mut sess = Session::decode_state(&mut r, dir).map_err(|e| {
+            EngineError::Durability(format!(
+                "snapshot {} undecodable: {e}",
+                latest.file
+            ))
+        })?;
+        r.finish().map_err(|e| {
+            EngineError::Durability(format!("snapshot {} trailing bytes: {e}", latest.file))
+        })?;
+
+        let wal_start = latest.wal_start;
+        let (mut log, scan) = DurableLog::open(dir, &sess.cfg.obs)?;
+        log.replaying = true;
+        let replayed = log.replayed.clone();
+        sess.durable = Some(log);
+        for rec in &scan.records {
+            if rec.lsn < wal_start {
+                continue;
+            }
+            match &rec.entry {
+                WalEntry::OneshotRun => {
+                    sess.run_oneshot();
+                }
+                WalEntry::Batch(batch) => sess.apply_mutations(batch),
+                WalEntry::IncrementalRun => {
+                    sess.run_incremental();
+                }
+                WalEntry::Compact => sess.compact_edges(),
+            }
+            replayed.add(1);
+        }
+        if let Some(d) = &mut sess.durable {
+            d.replaying = false;
+        }
+        Ok(sess)
+    }
+
+    /// The session's full serialized state — the exact bytes a
+    /// [`Session::checkpoint`] snapshot would carry. Works on any local
+    /// session, durable or not; the kill-and-recover test uses it to
+    /// assert a recovered session is *byte*-identical to an uninterrupted
+    /// one, and it is a useful state-divergence diagnostic generally.
+    pub fn state_image(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode_state(&mut w);
+        w.buf
+    }
+
+    // ---------------------------------------------------------------
+    // Full-state codec.
+    // ---------------------------------------------------------------
+
+    fn encode_state(&self, w: &mut Writer) {
+        w.u8(SESSION_SNAPSHOT_VERSION);
+        w.str(&self.program.source);
+        // The deterministic configuration subset: everything replay
+        // depends on. Transport is Local by construction, observability
+        // and durability are re-attached at recover time.
+        let c = &self.cfg;
+        w.u64(c.machines as u64);
+        w.u64(c.window_capacity as u64);
+        w.u64(c.buffer_pool_bytes);
+        w.u64(c.page_size);
+        w.u64(c.max_supersteps as u64);
+        match c.maintenance {
+            MaintenancePolicy::NoMerge => w.u8(0),
+            MaintenancePolicy::Periodic(p) => {
+                w.u8(1);
+                w.u64(p as u64);
+            }
+            MaintenancePolicy::CostBased => w.u8(2),
+        }
+        w.bool(c.opts.traversal_reorder);
+        w.bool(c.opts.neighbor_prune);
+        w.bool(c.opts.seek_window_share);
+        w.bool(c.opts.min_count);
+        w.bool(c.parallel);
+        w.u64(c.threads_per_machine as u64);
+
+        self.graph.encode_into(w);
+        for part in &self.parts {
+            w.u64(part.n_local as u64);
+            part.attr_store.encode_into(w);
+            part.accm_store.encode_into(w);
+            put_columns(w, &part.cur_attrs);
+            put_columns(w, &part.prev_attrs);
+            put_columns(w, &part.cur_accm);
+            put_columns(w, &part.prev_accm);
+        }
+        w.u64(self.globals_history.len() as u64);
+        for snap in &self.globals_history {
+            w.u64(snap.len() as u64);
+            for step in snap {
+                w.u64(step.len() as u64);
+                for v in step {
+                    put_value(w, v);
+                }
+            }
+        }
+        w.u64(self.superstep_counts.len() as u64);
+        for &s in &self.superstep_counts {
+            w.u64(s as u64);
+        }
+        w.bool(self.ran_oneshot);
+    }
+
+    fn decode_state(r: &mut Reader<'_>, dir: &Path) -> CodecResult<Session> {
+        let ver = r.u8()?;
+        if ver != SESSION_SNAPSHOT_VERSION {
+            return Err(CodecError::BadVersion(ver));
+        }
+        let source = r.str()?.to_string();
+        // Field order mirrors `encode_state` exactly; reads are sequential,
+        // so decode into locals before assembling the config.
+        let machines = r.u64()? as usize;
+        let window_capacity = r.u64()? as usize;
+        let buffer_pool_bytes = r.u64()?;
+        let page_size = r.u64()?;
+        let max_supersteps = r.u64()? as usize;
+        let maintenance = match r.u8()? {
+            0 => MaintenancePolicy::NoMerge,
+            1 => MaintenancePolicy::Periodic(r.u64()? as usize),
+            2 => MaintenancePolicy::CostBased,
+            tag => return Err(CodecError::BadTag { what: "maintenance policy", tag }),
+        };
+        let mut opts = crate::config::OptFlags::none();
+        opts.traversal_reorder = r.bool()?;
+        opts.neighbor_prune = r.bool()?;
+        opts.seek_window_share = r.bool()?;
+        opts.min_count = r.bool()?;
+        let parallel = r.bool()?;
+        let threads_per_machine = r.u64()? as usize;
+        let cfg = EngineConfig {
+            machines,
+            window_capacity,
+            buffer_pool_bytes,
+            page_size,
+            max_supersteps,
+            maintenance,
+            opts,
+            parallel,
+            threads_per_machine,
+            transport: TransportKind::Local,
+            durability: DurabilityKind::Wal {
+                dir: dir.to_path_buf(),
+            },
+            obs: itg_obs::global().clone(),
+        };
+
+        let program = itg_compiler::compile_source(&source)
+            .map_err(|_| CodecError::Truncated)?;
+        let graph = ClusterGraph::decode_from(
+            r,
+            cfg.buffer_pool_bytes,
+            cfg.page_size,
+            &cfg.obs,
+        )?;
+        let mut parts = Vec::with_capacity(cfg.machines);
+        for w in 0..cfg.machines {
+            let stats = graph.partitions[w].stats.clone();
+            let n_local = r.u64()? as usize;
+            let attr_store = AttrStore::decode_from(r, cfg.maintenance, stats.clone())?;
+            let accm_store = AttrStore::decode_from(r, cfg.maintenance, stats)?;
+            parts.push(PartitionState {
+                worker: w,
+                n_local,
+                attr_store,
+                accm_store,
+                cur_attrs: get_columns(r)?,
+                prev_attrs: get_columns(r)?,
+                cur_accm: get_columns(r)?,
+                prev_accm: get_columns(r)?,
+                changed: FxHashSet::default(),
+                degree_changed: FxHashSet::default(),
+            });
+        }
+        let mut globals_history = Vec::new();
+        for _ in 0..r.u64()? {
+            let mut snap = Vec::new();
+            for _ in 0..r.u64()? {
+                let mut step = Vec::new();
+                for _ in 0..r.u64()? {
+                    step.push(get_value(r)?);
+                }
+                snap.push(step);
+            }
+            globals_history.push(snap);
+        }
+        let mut superstep_counts = Vec::new();
+        for _ in 0..r.u64()? {
+            superstep_counts.push(r.u64()? as usize);
+        }
+        let ran_oneshot = r.bool()?;
+
+        let obs = SessionObs::new(&cfg.obs, &program);
+        let layout = AccmLayout::new(&program.symbols.accms);
+        let owned = 0..cfg.machines;
+        let mut sess = Session {
+            cfg: cfg.clone(),
+            program,
+            graph,
+            layout,
+            parts,
+            globals_history,
+            superstep_counts,
+            ran_oneshot,
+            obs,
+            plane: Plane::Local(Box::new(LocalTransport::new(&cfg.obs))),
+            owned,
+            barrier_seq: 0,
+            durable: None,
+        };
+        // `degree_changed` is derivable: it mirrors the latest batch's
+        // delta stream exactly as `apply_mutations` builds it (and is only
+        // ever read when a fresh batch is pending). `changed` starts empty —
+        // every incremental run clears it before use.
+        sess.graph
+            .for_each_delta_edge(itg_gsa::expr::EdgeDir::Out, |s, d, _| {
+                sess.parts[sess.graph.owner(s)].degree_changed.insert(s);
+                sess.parts[sess.graph.owner(d)].degree_changed.insert(d);
+            });
+        Ok(sess)
+    }
+}
+
+fn put_columns(w: &mut Writer, cols: &[ColumnData]) {
+    w.u64(cols.len() as u64);
+    for c in cols {
+        put_column(w, c);
+    }
+}
+
+fn get_columns(r: &mut Reader<'_>) -> CodecResult<Vec<ColumnData>> {
+    let n = r.u64()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_column(r)?);
+    }
+    Ok(out)
+}

@@ -322,8 +322,11 @@ impl ClusterGraph {
     }
 
     /// Apply a mutation batch, advancing the graph to the next snapshot.
-    /// For undirected graphs the batch is mirrored automatically.
-    pub fn apply_batch(&mut self, batch: &MutationBatch) {
+    /// For undirected graphs the batch is mirrored automatically. Each
+    /// partition direction ingests its localized share through the store's
+    /// [`EdgeStoreDir::commit`] choke point; the out-direction receipt of
+    /// partition 0 (present for every machine count) reports the new epoch.
+    pub fn apply_batch(&mut self, batch: &MutationBatch) -> itg_store::BatchReceipt {
         // Consolidate first: same-edge insert/delete pairs within one
         // batch cancel under the ±1 multiset model.
         let batch = batch.consolidated();
@@ -337,42 +340,48 @@ impl ClusterGraph {
             self.n = self.n.max(maxv as usize + 1);
         }
         let m = self.machines;
+        let mut receipt = None;
         for w in 0..m {
             let n_local = if self.n == 0 || w >= self.n {
                 0
             } else {
                 (self.n - 1 - w) / m + 1
             };
-            let (mut ins, mut del) = (Vec::new(), Vec::new());
-            for e in &batch.edges {
-                if e.src as usize % m == w {
-                    let pair = (e.src / m as u64, e.dst);
-                    if e.is_insert() {
-                        ins.push(pair);
-                    } else {
-                        del.push(pair);
-                    }
-                }
-            }
+            // Localize this partition's share: sources map to the local id
+            // space, destinations stay global. `MutationBatch::new`'s
+            // stable partition preserves each class's relative order.
+            let local: Vec<EdgeMutation> = batch
+                .edges()
+                .iter()
+                .filter(|e| e.src as usize % m == w)
+                .map(|e| EdgeMutation {
+                    src: e.src / m as u64,
+                    dst: e.dst,
+                    mult: e.mult,
+                })
+                .collect();
             let p = &mut self.partitions[w];
             p.out.grow(n_local);
-            p.out.apply_delta(&ins, &del);
+            let r = p.out.commit(&MutationBatch::new(local));
+            if w == 0 {
+                receipt = Some(r);
+            }
             if let Some(rev) = &mut p.rev {
-                let (mut rins, mut rdel) = (Vec::new(), Vec::new());
-                for e in &batch.edges {
-                    if e.dst as usize % m == w {
-                        let pair = (e.dst / m as u64, e.src);
-                        if e.is_insert() {
-                            rins.push(pair);
-                        } else {
-                            rdel.push(pair);
-                        }
-                    }
-                }
+                let rlocal: Vec<EdgeMutation> = batch
+                    .edges()
+                    .iter()
+                    .filter(|e| e.dst as usize % m == w)
+                    .map(|e| EdgeMutation {
+                        src: e.dst / m as u64,
+                        dst: e.src,
+                        mult: e.mult,
+                    })
+                    .collect();
                 rev.grow(n_local);
-                rev.apply_delta(&rins, &rdel);
+                rev.commit(&MutationBatch::new(rlocal));
             }
         }
+        receipt.expect("at least one partition")
     }
 
     /// Compact every partition's segment chains: rewrite each base CSR
@@ -398,6 +407,62 @@ impl ClusterGraph {
             .sum()
     }
 
+    /// Serialize the partitioned graph for durability snapshots: the
+    /// topology scalars plus every partition's edge-store segment chains,
+    /// structure preserved exactly (DESIGN.md §9).
+    pub(crate) fn encode_into(&self, w: &mut itg_store::Writer) {
+        w.u64(self.machines as u64);
+        w.u64(self.n as u64);
+        w.u64(self.n_prev as u64);
+        w.bool(self.undirected);
+        for p in &self.partitions {
+            p.out.encode_into(w);
+            w.bool(p.rev.is_some());
+            if let Some(rev) = &p.rev {
+                rev.encode_into(w);
+            }
+        }
+    }
+
+    /// Rebuild a graph from its serialized image, giving each partition a
+    /// fresh buffer pool and IO counters reporting into `obs` (restoring a
+    /// snapshot is not the workload's IO).
+    pub(crate) fn decode_from(
+        r: &mut itg_store::Reader<'_>,
+        pool_bytes: u64,
+        page_size: u64,
+        obs: &itg_obs::Recorder,
+    ) -> itg_store::CodecResult<ClusterGraph> {
+        let machines = r.u64()? as usize;
+        let n = r.u64()? as usize;
+        let n_prev = r.u64()? as usize;
+        let undirected = r.bool()?;
+        let mut partitions = Vec::with_capacity(machines);
+        for _ in 0..machines {
+            let stats = IoStats::with_obs(obs);
+            let pool = Arc::new(BufferPool::new(pool_bytes, page_size, stats.clone()));
+            let out = EdgeStoreDir::decode_from(r, pool.clone())?;
+            let rev = if r.bool()? {
+                Some(EdgeStoreDir::decode_from(r, pool.clone())?)
+            } else {
+                None
+            };
+            partitions.push(GraphPartition {
+                out,
+                rev,
+                pool,
+                stats,
+            });
+        }
+        Ok(ClusterGraph {
+            machines,
+            n,
+            n_prev,
+            undirected,
+            partitions,
+        })
+    }
+
     /// Aggregate IO stats across partitions.
     pub fn total_io(&self) -> itg_store::IoSnapshot {
         let mut acc = itg_store::IoSnapshot::default();
@@ -419,8 +484,8 @@ impl ClusterGraph {
 /// when the caller already included both directions.
 fn dedup_mirror(batch: &MutationBatch) -> MutationBatch {
     let mut seen = itg_gsa::FxHashSet::default();
-    let mut out = Vec::with_capacity(batch.edges.len() * 2);
-    for e in &batch.edges {
+    let mut out = Vec::with_capacity(batch.len() * 2);
+    for e in batch.edges() {
         for (s, d) in [(e.src, e.dst), (e.dst, e.src)] {
             if s != d && seen.insert((s, d, e.mult)) {
                 out.push(EdgeMutation {

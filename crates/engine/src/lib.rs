@@ -24,6 +24,7 @@ pub mod accum;
 pub mod builder;
 pub mod config;
 mod coordinator;
+pub mod durability;
 pub mod graph;
 pub mod metrics;
 pub mod msbfs;
@@ -36,6 +37,7 @@ pub mod worker;
 
 pub use builder::SessionBuilder;
 pub use config::{EngineConfig, OptFlags};
+pub use durability::{DurabilityKind, SnapshotId};
 pub use graph::{ClusterGraph, GraphInput};
 pub use metrics::{ParallelMetrics, RunKind, RunMetrics};
 pub use session::{EngineError, Session};

@@ -4,6 +4,7 @@
 
 use crate::accum::{apply_contribution, reset_state, AccBuffer, AccmLayout, ApplyOutcome, Contribution};
 use crate::config::EngineConfig;
+use crate::durability::{DurabilityKind, DurableLog};
 use crate::graph::{ClusterGraph, GraphInput};
 use crate::metrics::{ParallelMetrics, RunKind, RunMetrics};
 use crate::msbfs::{backward_msbfs, PruningLevels};
@@ -18,6 +19,7 @@ use itg_gsa::expr::eval;
 use itg_gsa::value::{ColumnData, Value};
 use itg_gsa::{FxHashMap, FxHashSet, VertexId};
 use itg_lnga::AccmInfo;
+use itg_store::wal::WalEntry;
 use itg_store::{AttrStore, IoSnapshot, MutationBatch, View};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -74,7 +76,7 @@ pub(crate) struct SessionObs {
 }
 
 impl SessionObs {
-    fn new(rec: &itg_obs::Recorder, program: &CompiledProgram) -> SessionObs {
+    pub(crate) fn new(rec: &itg_obs::Recorder, program: &CompiledProgram) -> SessionObs {
         SessionObs {
             enabled: rec.is_enabled(),
             setup: rec.span("run/setup"),
@@ -139,6 +141,9 @@ pub enum EngineError {
     BadSuperstep { requested: usize, executed: usize },
     /// A distribution-layer failure (worker spawn, pipe IO, protocol).
     Transport(TransportError),
+    /// A durability-layer failure (WAL IO, snapshot or manifest
+    /// corruption, an unrecoverable directory).
+    Durability(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -153,6 +158,7 @@ impl std::fmt::Display for EngineError {
                  {executed} superstep(s)"
             ),
             EngineError::Transport(e) => write!(f, "{e}"),
+            EngineError::Durability(m) => write!(f, "durability: {m}"),
         }
     }
 }
@@ -207,6 +213,10 @@ pub struct Session {
     /// Monotonic barrier sequence; coordinator and workers increment it at
     /// the same protocol points, so it doubles as a lockstep check.
     pub(crate) barrier_seq: u64,
+    /// The open WAL when [`crate::DurabilityKind::Wal`] is configured;
+    /// every state-changing command is appended here before executing
+    /// (see `durability.rs`).
+    pub(crate) durable: Option<DurableLog>,
 }
 
 impl Session {
@@ -243,9 +253,19 @@ impl Session {
             TransportKind::Local => {
                 let plane = Plane::Local(Box::new(LocalTransport::new(&cfg.obs)));
                 let owned = 0..cfg.machines;
-                Session::assemble(program, input, cfg, plane, owned)
+                let mut sess = Session::assemble(program, input, cfg, plane, owned)?;
+                sess.attach_durability()?;
+                Ok(sess)
             }
             TransportKind::Process { workers } => {
+                if !matches!(cfg.durability, DurabilityKind::None) {
+                    return Err(EngineError::Unsupported(
+                        "durability requires TransportKind::Local; the \
+                         process transport replicates state across worker \
+                         processes that a single WAL cannot cover"
+                            .into(),
+                    ));
+                }
                 Session::build_coordinator(program, input, cfg, workers)
             }
         }
@@ -323,6 +343,7 @@ impl Session {
             plane,
             owned,
             barrier_seq: 0,
+            durable: None,
         })
     }
 
@@ -516,6 +537,7 @@ impl Session {
                 .coordinate_oneshot()
                 .unwrap_or_else(|e| panic!("process transport: {e}"));
         }
+        self.log_command(&WalEntry::OneshotRun);
         let t0 = Instant::now();
         let io0 = self.graph.total_io();
         let mut metrics = RunMetrics::new(RunKind::OneShot);
@@ -1102,6 +1124,7 @@ impl Session {
             t.broadcast(&Payload::Mutations(batch.clone()))
                 .expect("broadcast mutations");
         }
+        self.log_command(&WalEntry::Batch(batch.clone()));
         self.graph.apply_batch(batch);
         // Grow per-partition state to the new vertex space.
         let identity_row: Vec<Value> = {
@@ -1172,6 +1195,7 @@ impl Session {
         if self.is_coordinator() {
             return self.coordinate_incremental();
         }
+        self.log_command(&WalEntry::IncrementalRun);
         let t0 = Instant::now();
         let io0 = self.graph.total_io();
         let mut metrics = RunMetrics::new(RunKind::Incremental);
@@ -1958,6 +1982,7 @@ impl Session {
         if let Plane::Coordinator(t) = &mut self.plane {
             t.broadcast(&Payload::Compact).expect("broadcast compact");
         }
+        self.log_command(&WalEntry::Compact);
         self.graph.compact();
     }
 }

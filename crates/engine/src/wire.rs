@@ -691,8 +691,8 @@ pub fn encode_payload(p: &Payload) -> Vec<u8> {
         | Payload::Compact
         | Payload::Shutdown => {}
         Payload::Mutations(batch) => {
-            w.u64(batch.edges.len() as u64);
-            for e in &batch.edges {
+            w.u64(batch.len() as u64);
+            for e in batch.edges() {
                 w.u64(e.src);
                 w.u64(e.dst);
                 w.i8(e.mult);

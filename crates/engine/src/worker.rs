@@ -1,7 +1,7 @@
 //! The partition-worker process entry point (`itg-partition-worker`).
 //!
 //! A worker is an ordinary [`Session`] whose plane is a
-//! [`PipeLink`](crate::transport::PipeLink) to the coordinator: it
+//! [`PipeLink`] to the coordinator: it
 //! bootstraps from the first stdin frame (program source, graph image,
 //! config), rebuilds the identical session state every peer has, and then
 //! executes the same BSP drivers as the local plane — restricted to its

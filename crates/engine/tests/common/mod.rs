@@ -1,0 +1,118 @@
+//! Shared scaffolding for the randomized engine tests: a seeded workload
+//! generator producing base graphs plus mutation-batch sequences (with
+//! routine delete-then-reinsert traffic), and per-algorithm input/config
+//! builders. Used by the parallel incremental oracle
+//! (`parallel_oracle.rs`) and the durability kill-and-recover test
+//! (`kill_recover.rs`), which must both drive the *same* histories.
+#![allow(dead_code)]
+
+use itg_algorithms::programs;
+use itg_engine::{EngineConfig, GraphInput};
+use itg_gsa::VertexId;
+use itg_store::{EdgeMutation, MutationBatch};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub const N: usize = 32;
+pub const ALGOS: [&str; 6] = ["pr", "lp", "wcc", "bfs", "tc", "lcc"];
+
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    pub algo: &'static str,
+    pub machines: usize,
+    pub threads: usize,
+    pub seed: u64,
+    pub batches: usize,
+    pub batch_size: usize,
+}
+
+/// Base graph plus batches. Deleted edges go into a `dead` pool that later
+/// batches preferentially reinsert from, so delete-then-reinsert sequences
+/// are a routine part of the workload, not a corner case.
+pub fn build_workload(sc: &Scenario) -> (Vec<(VertexId, VertexId)>, Vec<MutationBatch>) {
+    let mut rng = SmallRng::seed_from_u64(sc.seed);
+    let want = 60 + sc.batches * sc.batch_size;
+    let mut universe: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    while universe.len() < want {
+        let a = rng.gen_range(0..N as u64);
+        let b = rng.gen_range(0..N as u64);
+        if a != b && seen.insert((a.min(b), a.max(b))) {
+            universe.push((a.min(b), a.max(b)));
+        }
+    }
+    let base: Vec<_> = universe[..60].to_vec();
+    let mut fresh: Vec<_> = universe[60..].to_vec();
+    let mut alive = base.clone();
+    let mut dead: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut out = Vec::new();
+    for _ in 0..sc.batches {
+        let mut muts = Vec::new();
+        // Edges deleted within this batch are not eligible for reinsertion
+        // until the next batch.
+        let mut dead_this_batch: Vec<(VertexId, VertexId)> = Vec::new();
+        for _ in 0..sc.batch_size {
+            let roll = rng.gen_range(0..10u32);
+            if roll < 3 && !dead.is_empty() {
+                // Reinsert a previously deleted edge.
+                let i = rng.gen_range(0..dead.len());
+                let e = dead.swap_remove(i);
+                muts.push(EdgeMutation::insert(e.0, e.1));
+                alive.push(e);
+            } else if roll < 7 && alive.len() >= 4 {
+                let i = rng.gen_range(0..alive.len());
+                let e = alive.swap_remove(i);
+                muts.push(EdgeMutation::delete(e.0, e.1));
+                dead_this_batch.push(e);
+            } else if let Some(e) = fresh.pop() {
+                muts.push(EdgeMutation::insert(e.0, e.1));
+                alive.push(e);
+            }
+        }
+        dead.append(&mut dead_this_batch);
+        if muts.is_empty() {
+            // Unreachable in practice (the fresh pool is sized for every
+            // batch), but an empty batch would make the scenario vacuous.
+            let e = fresh.pop().expect("fresh pool sized for all batches");
+            muts.push(EdgeMutation::insert(e.0, e.1));
+            alive.push(e);
+        }
+        out.push(MutationBatch::new(muts));
+    }
+    (base, out)
+}
+
+pub fn mk_input(algo: &str, edges: &[(VertexId, VertexId)]) -> GraphInput {
+    let mut input = if programs::is_undirected(algo) {
+        GraphInput::undirected(edges.to_vec())
+    } else {
+        GraphInput::directed(edges.to_vec())
+    };
+    input.num_vertices = N;
+    input
+}
+
+pub fn mk_config(algo: &str, machines: usize, threads: usize) -> EngineConfig {
+    let mut config = EngineConfig {
+        machines,
+        parallel: machines > 1,
+        ..EngineConfig::default()
+    }
+    .with_threads(threads);
+    if matches!(algo, "pr" | "lp") {
+        config.max_supersteps = 10;
+    }
+    config
+}
+
+pub fn attr_names(algo: &str) -> &'static [&'static str] {
+    match algo {
+        "pr" => &["rank"],
+        "lp" => &["label"],
+        "wcc" => &["comp"],
+        "bfs" => &["dist"],
+        "tc" => &[],
+        "lcc" => &["lcc"],
+        _ => unreachable!(),
+    }
+}

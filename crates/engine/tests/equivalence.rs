@@ -137,7 +137,7 @@ fn random_workload(
 
 /// Apply batches to a plain edge set.
 fn apply_to_edges(edges: &mut Vec<(VertexId, VertexId)>, batch: &MutationBatch) {
-    for m in &batch.edges {
+    for m in batch.edges() {
         let key = (m.src.min(m.dst), m.src.max(m.dst));
         if m.is_insert() {
             edges.push(key);

@@ -12,10 +12,23 @@
 //! (`es'`, as of snapshot t), plus the delta stream `Δes_t` itself — the
 //! three stream versions bound by the incrementalization rules.
 
-use crate::mutation::MutationBatch;
+use crate::codec::{CodecError, CodecResult, Reader, Writer};
+use crate::mutation::{EdgeMutation, MutationBatch};
 use crate::pager::BufferPool;
 use itg_gsa::{FxHashSet, VertexId};
 use std::sync::Arc;
+
+/// The receipt returned by the [`EdgeStore::commit`] /
+/// [`EdgeStoreDir::commit`] choke point: where the store now stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchReceipt {
+    /// The snapshot epoch the store advanced to (== [`EdgeStore::snapshot`]
+    /// after the commit).
+    pub epoch: u64,
+    /// The store-local commit sequence number, 0-based and contiguous.
+    /// Durable sessions bind this to the WAL LSN of the logged batch.
+    pub lsn: u64,
+}
 
 /// Which snapshot view of the edge stream to read.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -144,6 +157,8 @@ pub struct EdgeStoreDir {
     /// Base segment id for page accounting; delta t uses seg_base + 2t − 1
     /// (inserts) and seg_base + 2t (deletes).
     seg_base: u32,
+    /// Commits ingested so far; the next receipt's LSN.
+    commits: u64,
     pool: Arc<BufferPool>,
 }
 
@@ -171,6 +186,7 @@ impl EdgeStoreDir {
             degree_prev: degree,
             snapshot_base: 0,
             seg_base,
+            commits: 0,
             pool,
         }
     }
@@ -200,9 +216,43 @@ impl EdgeStoreDir {
         self.n = n;
     }
 
-    /// Ingest one snapshot's mutations. `inserts`/`deletes` are (src, dst)
-    /// lists for *this* direction.
+    /// Commit one snapshot's mutations through the single ingestion choke
+    /// point. The batch must be *net* (consolidated — see
+    /// [`MutationBatch::consolidated`]) and localized to this direction:
+    /// sources index this store's CSR, destinations are global ids.
+    /// Returns the receipt binding the new epoch to this commit's LSN.
+    pub fn commit(&mut self, batch: &MutationBatch) -> BatchReceipt {
+        let ins: Vec<(VertexId, VertexId)> =
+            batch.inserts().map(|e| (e.src, e.dst)).collect();
+        let del: Vec<(VertexId, VertexId)> =
+            batch.deletes().map(|e| (e.src, e.dst)).collect();
+        self.ingest(&ins, &del);
+        let lsn = self.commits;
+        self.commits += 1;
+        BatchReceipt {
+            epoch: self.snapshot() as u64,
+            lsn,
+        }
+    }
+
+    /// Deprecated: use [`EdgeStoreDir::commit`] — the split
+    /// `apply_delta`/`apply_batch` ingestion paths were collapsed into one
+    /// WAL-hookable entry point. This shim builds a batch from the pair
+    /// lists and forwards to `commit`, discarding the receipt.
     pub fn apply_delta(
+        &mut self,
+        inserts: &[(VertexId, VertexId)],
+        deletes: &[(VertexId, VertexId)],
+    ) {
+        let mut edges = Vec::with_capacity(inserts.len() + deletes.len());
+        edges.extend(inserts.iter().map(|&(s, d)| EdgeMutation::insert(s, d)));
+        edges.extend(deletes.iter().map(|&(s, d)| EdgeMutation::delete(s, d)));
+        self.commit(&MutationBatch::new(edges));
+    }
+
+    /// The segment-building core shared by [`EdgeStoreDir::commit`] and
+    /// the snapshot loader.
+    fn ingest(
         &mut self,
         inserts: &[(VertexId, VertexId)],
         deletes: &[(VertexId, VertexId)],
@@ -556,21 +606,200 @@ impl EdgeStore {
         }
     }
 
-    /// Apply a mutation batch (already mirrored for undirected graphs).
-    /// The batch is consolidated first: same-edge insert/delete pairs
-    /// within one batch cancel.
-    pub fn apply_batch(&mut self, batch: &MutationBatch) {
+    /// Commit a mutation batch (already mirrored for undirected graphs)
+    /// through the single ingestion choke point. The batch is consolidated
+    /// first: same-edge insert/delete pairs within one batch cancel.
+    /// Returns the receipt binding the new epoch to this commit's LSN.
+    pub fn commit(&mut self, batch: &MutationBatch) -> BatchReceipt {
         let batch = batch.consolidated();
-        let ins: Vec<(VertexId, VertexId)> =
-            batch.inserts().map(|e| (e.src, e.dst)).collect();
-        let del: Vec<(VertexId, VertexId)> =
-            batch.deletes().map(|e| (e.src, e.dst)).collect();
-        self.out.apply_delta(&ins, &del);
+        let receipt = self.out.commit(&batch);
         if let Some(r) = &mut self.rev {
-            let rins: Vec<(VertexId, VertexId)> = ins.iter().map(|&(s, d)| (d, s)).collect();
-            let rdel: Vec<(VertexId, VertexId)> = del.iter().map(|&(s, d)| (d, s)).collect();
-            r.apply_delta(&rins, &rdel);
+            let flipped: Vec<EdgeMutation> = batch
+                .edges()
+                .iter()
+                .map(|e| EdgeMutation {
+                    src: e.dst,
+                    dst: e.src,
+                    mult: e.mult,
+                })
+                .collect();
+            r.commit(&MutationBatch::new(flipped));
         }
+        receipt
+    }
+
+    /// Deprecated: use [`EdgeStore::commit`] — the split
+    /// `apply_delta`/`apply_batch` ingestion paths were collapsed into one
+    /// WAL-hookable entry point. This shim forwards to `commit` and
+    /// discards the receipt.
+    pub fn apply_batch(&mut self, batch: &MutationBatch) {
+        self.commit(batch);
+    }
+}
+
+// ---------------------------------------------------------------
+// Snapshot serialization (DESIGN.md §9). The byte image preserves the
+// exact segment-chain structure — flattening would change the neighbor
+// scan order and with it the engine's float accumulation order, breaking
+// byte-identical recovery.
+// ---------------------------------------------------------------
+
+impl CsrSegment {
+    fn encode_into(&self, w: &mut Writer) {
+        w.u64(self.offsets.len() as u64);
+        for &o in &self.offsets {
+            w.u64(o);
+        }
+        w.u64(self.targets.len() as u64);
+        for &t in &self.targets {
+            w.u64(t);
+        }
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> CodecResult<CsrSegment> {
+        let n_off = r.u64()? as usize;
+        if n_off == 0 {
+            return Err(CodecError::Truncated);
+        }
+        let mut offsets = Vec::with_capacity(n_off.min(1 << 20));
+        for _ in 0..n_off {
+            offsets.push(r.u64()?);
+        }
+        let n_tgt = r.u64()? as usize;
+        // Structural validation: monotone offsets covering the targets, so
+        // every later index operation is in bounds.
+        if offsets[0] != 0
+            || *offsets.last().unwrap() != n_tgt as u64
+            || offsets.windows(2).any(|p| p[0] > p[1])
+        {
+            return Err(CodecError::Truncated);
+        }
+        let mut targets = Vec::with_capacity(n_tgt.min(1 << 20));
+        for _ in 0..n_tgt {
+            targets.push(r.u64()?);
+        }
+        Ok(CsrSegment { offsets, targets })
+    }
+}
+
+/// Sorted-pair-set codec: canonical (sorted) encoding, decoded back into
+/// the hash set. Only membership is ever queried, so order is free.
+fn put_pair_set(w: &mut Writer, set: &FxHashSet<(VertexId, VertexId)>) {
+    let mut pairs: Vec<(VertexId, VertexId)> = set.iter().copied().collect();
+    pairs.sort_unstable();
+    w.u64(pairs.len() as u64);
+    for (a, b) in pairs {
+        w.u64(a);
+        w.u64(b);
+    }
+}
+
+fn get_pair_set(r: &mut Reader<'_>) -> CodecResult<FxHashSet<(VertexId, VertexId)>> {
+    let n = r.u64()? as usize;
+    let mut set = FxHashSet::default();
+    for _ in 0..n {
+        let a = r.u64()?;
+        let b = r.u64()?;
+        set.insert((a, b));
+    }
+    Ok(set)
+}
+
+impl EdgeStoreDir {
+    /// Serialize the full segment-chain structure into `w`.
+    pub fn encode_into(&self, w: &mut Writer) {
+        w.u64(self.n as u64);
+        w.u64(self.snapshot_base as u64);
+        w.u32(self.seg_base);
+        w.u64(self.commits);
+        self.base.encode_into(w);
+        w.u64(self.deltas.len() as u64);
+        for d in &self.deltas {
+            d.inserts.encode_into(w);
+            d.deletes.encode_into(w);
+        }
+        put_pair_set(w, &self.deleted_new);
+        put_pair_set(w, &self.deleted_old);
+        put_pair_set(w, &self.resurrected);
+        w.u64(self.degree_cur.len() as u64);
+        for &d in &self.degree_cur {
+            w.u32(d);
+        }
+        w.u64(self.degree_prev.len() as u64);
+        for &d in &self.degree_prev {
+            w.u32(d);
+        }
+    }
+
+    /// Rebuild a store from its serialized image, attaching it to `pool`.
+    /// No IO is charged: restoring a snapshot is not the workload's IO.
+    pub fn decode_from(r: &mut Reader<'_>, pool: Arc<BufferPool>) -> CodecResult<EdgeStoreDir> {
+        let n = r.u64()? as usize;
+        let snapshot_base = r.u64()? as usize;
+        let seg_base = r.u32()?;
+        let commits = r.u64()?;
+        let base = CsrSegment::decode_from(r)?;
+        let n_deltas = r.u64()? as usize;
+        let mut deltas = Vec::with_capacity(n_deltas.min(1 << 16));
+        for _ in 0..n_deltas {
+            let inserts = CsrSegment::decode_from(r)?;
+            let deletes = CsrSegment::decode_from(r)?;
+            deltas.push(DeltaSegment { inserts, deletes });
+        }
+        let deleted_new = get_pair_set(r)?;
+        let deleted_old = get_pair_set(r)?;
+        let resurrected = get_pair_set(r)?;
+        let n_cur = r.u64()? as usize;
+        let mut degree_cur = Vec::with_capacity(n_cur.min(1 << 20));
+        for _ in 0..n_cur {
+            degree_cur.push(r.u32()?);
+        }
+        let n_prev = r.u64()? as usize;
+        let mut degree_prev = Vec::with_capacity(n_prev.min(1 << 20));
+        for _ in 0..n_prev {
+            degree_prev.push(r.u32()?);
+        }
+        if degree_cur.len() != n || degree_prev.len() != n || base.n() != n {
+            return Err(CodecError::Truncated);
+        }
+        Ok(EdgeStoreDir {
+            n,
+            base,
+            deltas,
+            deleted_new,
+            deleted_old,
+            resurrected,
+            degree_cur,
+            degree_prev,
+            snapshot_base,
+            seg_base,
+            commits,
+            pool,
+        })
+    }
+}
+
+impl EdgeStore {
+    /// Serialize both directions into `w`.
+    pub fn encode_into(&self, w: &mut Writer) {
+        w.bool(self.rev.is_some());
+        self.out.encode_into(w);
+        if let Some(r) = &self.rev {
+            r.encode_into(w);
+        }
+    }
+
+    /// Rebuild from a serialized image, attaching both directions to
+    /// `pool`.
+    pub fn decode_from(r: &mut Reader<'_>, pool: Arc<BufferPool>) -> CodecResult<EdgeStore> {
+        let has_rev = r.bool()?;
+        let out = EdgeStoreDir::decode_from(r, pool.clone())?;
+        let rev = if has_rev {
+            Some(EdgeStoreDir::decode_from(r, pool)?)
+        } else {
+            None
+        };
+        Ok(EdgeStore { out, rev })
     }
 }
 
@@ -600,7 +829,7 @@ mod tests {
     #[test]
     fn views_across_one_delta() {
         let mut s = store(&[(0, 1), (0, 2), (1, 2)]);
-        s.apply_batch(&MutationBatch::new(vec![
+        s.commit(&MutationBatch::new(vec![
             EdgeMutation::insert(0, 3),
             EdgeMutation::delete(0, 1),
         ]));
@@ -617,7 +846,7 @@ mod tests {
     #[test]
     fn delta_stream_has_signed_tuples() {
         let mut s = store(&[(0, 1)]);
-        s.apply_batch(&MutationBatch::new(vec![
+        s.commit(&MutationBatch::new(vec![
             EdgeMutation::insert(2, 0),
             EdgeMutation::delete(0, 1),
         ]));
@@ -630,9 +859,9 @@ mod tests {
     #[test]
     fn chained_snapshots_resurrect_deleted_edge() {
         let mut s = store(&[(0, 1), (0, 2)]);
-        s.apply_batch(&MutationBatch::new(vec![EdgeMutation::delete(0, 1)]));
+        s.commit(&MutationBatch::new(vec![EdgeMutation::delete(0, 1)]));
         assert_eq!(s.out_dir().neighbors(0, View::New), vec![2]);
-        s.apply_batch(&MutationBatch::new(vec![EdgeMutation::insert(0, 1)]));
+        s.commit(&MutationBatch::new(vec![EdgeMutation::insert(0, 1)]));
         let mut n = s.out_dir().neighbors(0, View::New);
         n.sort_unstable();
         assert_eq!(n, vec![1, 2]);
@@ -643,7 +872,7 @@ mod tests {
     #[test]
     fn growth_on_new_vertices() {
         let mut s = store(&[(0, 1)]);
-        s.apply_batch(&MutationBatch::new(vec![EdgeMutation::insert(5, 0)]));
+        s.commit(&MutationBatch::new(vec![EdgeMutation::insert(5, 0)]));
         assert_eq!(s.num_vertices(), 6);
         assert_eq!(s.out_dir().neighbors(5, View::New), vec![0]);
         assert_eq!(s.out_dir().neighbors(5, View::Old), Vec::<u64>::new());
@@ -669,11 +898,11 @@ mod tests {
     #[test]
     fn compaction_preserves_new_view_and_drops_chain() {
         let mut s = store(&[(0, 1), (0, 2), (1, 2)]);
-        s.apply_batch(&MutationBatch::new(vec![
+        s.commit(&MutationBatch::new(vec![
             EdgeMutation::insert(0, 3),
             EdgeMutation::delete(0, 1),
         ]));
-        s.apply_batch(&MutationBatch::new(vec![EdgeMutation::insert(2, 0)]));
+        s.commit(&MutationBatch::new(vec![EdgeMutation::insert(2, 0)]));
         let before: Vec<Vec<u64>> = (0..4)
             .map(|v| {
                 let mut n = s.out_dir().neighbors(v, View::New);
@@ -701,7 +930,7 @@ mod tests {
         assert!(delta.is_empty());
 
         // The store keeps working across post-compaction batches.
-        s.apply_batch(&MutationBatch::new(vec![EdgeMutation::delete(2, 0)]));
+        s.commit(&MutationBatch::new(vec![EdgeMutation::delete(2, 0)]));
         assert_eq!(s.out_dir().neighbors(2, View::New), vec![]);
         assert_eq!(s.out_dir().neighbors(2, View::Old), vec![0]);
     }

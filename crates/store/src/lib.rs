@@ -14,17 +14,34 @@
 //! - [`pager`]: the LRU page buffer pool; all reads are byte-accounted.
 //! - [`stats`]: shared IO / network / work counters.
 //! - [`mutation`]: `ΔG` batch representation.
+//!
+//! Durability (write-ahead logging + snapshot recovery) lives in:
+//!
+//! - [`codec`]: the little-endian byte codec shared by WAL records and
+//!   snapshot payloads, plus the CRC-32 used to detect torn/corrupt frames.
+//! - [`wal`]: the append-only write-ahead log of engine commands.
+//! - [`snapshot`]: the checksummed snapshot file container and value codecs.
+//! - [`manifest`]: `manifest.json`, binding snapshot epochs to the WAL LSN
+//!   range each snapshot covers.
 
+pub mod codec;
 pub mod edge_store;
 pub mod maintenance;
+pub mod manifest;
 pub mod mutation;
 pub mod pager;
+pub mod snapshot;
 pub mod stats;
 pub mod vertex_store;
+pub mod wal;
 
-pub use edge_store::{CsrSegment, DeltaSegment, EdgeStore, EdgeStoreDir, View};
+pub use codec::{crc32, CodecError, CodecResult, Reader, Writer};
+pub use edge_store::{BatchReceipt, CsrSegment, DeltaSegment, EdgeStore, EdgeStoreDir, View};
 pub use maintenance::{ChainSummary, MaintenancePolicy};
+pub use manifest::{Manifest, ManifestError, SnapshotEntry, MANIFEST_FILE};
 pub use mutation::{EdgeMutation, MutationBatch};
 pub use pager::{BufferPool, PageId, DEFAULT_PAGE_SIZE};
+pub use snapshot::SnapshotError;
 pub use stats::{IoSnapshot, IoStats};
 pub use vertex_store::{AttrStore, Run};
+pub use wal::{Wal, WalEntry, WalError, WalRecord, WalScan, WAL_FILE};

@@ -1,0 +1,467 @@
+//! The durability manifest: `manifest.json` in a WAL directory binds each
+//! snapshot epoch to the WAL position it covers, so recovery is
+//! "load the latest snapshot, then replay the WAL tail from
+//! `wal_start`" (DESIGN.md §9).
+//!
+//! The manifest is tiny and human-inspectable, so it is JSON rather than
+//! the binary codec. The build is offline and vendors no JSON crate; the
+//! emitter and the (schema-restricted) recursive-descent parser below are
+//! hand-rolled. Updates are atomic: write `manifest.json.tmp`, fsync,
+//! rename over the old file — a crash mid-checkpoint leaves the previous
+//! manifest intact and the half-written snapshot unreferenced.
+
+use std::path::{Path, PathBuf};
+
+/// Manifest schema version.
+pub const MANIFEST_VERSION: u64 = 1;
+/// The manifest file name inside a durability directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// One snapshot registration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotEntry {
+    /// Monotonic snapshot epoch (0 is written at session creation).
+    pub epoch: u64,
+    /// Snapshot file name, relative to the durability directory.
+    pub file: String,
+    /// First WAL LSN *not* covered by this snapshot: recovery replays
+    /// records with `lsn >= wal_start`.
+    pub wal_start: u64,
+}
+
+/// The parsed manifest: every registered snapshot, oldest first.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    pub snapshots: Vec<SnapshotEntry>,
+}
+
+/// Manifest failures.
+#[derive(Debug)]
+pub enum ManifestError {
+    Io(std::io::Error),
+    /// Not valid JSON, or JSON outside the manifest schema.
+    Parse(String),
+    /// A `format_version` this build does not understand.
+    BadVersion(u64),
+}
+
+impl std::fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ManifestError::Io(e) => write!(f, "manifest io error: {e}"),
+            ManifestError::Parse(m) => write!(f, "manifest parse error: {m}"),
+            ManifestError::BadVersion(v) => write!(f, "unsupported manifest version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+impl From<std::io::Error> for ManifestError {
+    fn from(e: std::io::Error) -> ManifestError {
+        ManifestError::Io(e)
+    }
+}
+
+impl Manifest {
+    /// The most recent snapshot, if any.
+    pub fn latest(&self) -> Option<&SnapshotEntry> {
+        self.snapshots.last()
+    }
+
+    /// The epoch the next checkpoint should use.
+    pub fn next_epoch(&self) -> u64 {
+        self.latest().map_or(0, |s| s.epoch + 1)
+    }
+
+    /// Serialize to the manifest JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"format_version\": {MANIFEST_VERSION},\n"));
+        out.push_str("  \"snapshots\": [");
+        for (i, s) in self.snapshots.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"epoch\": {}, \"file\": \"{}\", \"wal_start\": {}}}",
+                s.epoch,
+                escape_json(&s.file),
+                s.wal_start
+            ));
+        }
+        if !self.snapshots.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Parse a manifest JSON document.
+    pub fn from_json(text: &str) -> Result<Manifest, ManifestError> {
+        let value = JsonParser::new(text).parse()?;
+        let obj = value.as_object("top level")?;
+        let version = field(obj, "format_version")?.as_u64("format_version")?;
+        if version != MANIFEST_VERSION {
+            return Err(ManifestError::BadVersion(version));
+        }
+        let mut snapshots = Vec::new();
+        if let Some((_, list)) = obj.iter().find(|(k, _)| k == "snapshots") {
+            for item in list.as_array("snapshots")? {
+                let s = item.as_object("snapshot entry")?;
+                snapshots.push(SnapshotEntry {
+                    epoch: field(s, "epoch")?.as_u64("epoch")?,
+                    file: field(s, "file")?.as_str("file")?.to_string(),
+                    wal_start: field(s, "wal_start")?.as_u64("wal_start")?,
+                });
+            }
+        }
+        for pair in snapshots.windows(2) {
+            if pair[1].epoch <= pair[0].epoch {
+                return Err(ManifestError::Parse("epochs not increasing".into()));
+            }
+        }
+        Ok(Manifest { snapshots })
+    }
+
+    /// Load `dir/manifest.json`; an absent file is an empty manifest.
+    pub fn load(dir: &Path) -> Result<Manifest, ManifestError> {
+        match std::fs::read_to_string(dir.join(MANIFEST_FILE)) {
+            Ok(text) => Manifest::from_json(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Manifest::default()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Atomically write `dir/manifest.json` (tmp + fsync + rename).
+    pub fn store(&self, dir: &Path) -> Result<(), ManifestError> {
+        let tmp: PathBuf = dir.join(format!("{MANIFEST_FILE}.tmp"));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            std::io::Write::write_all(&mut f, self.to_json().as_bytes())?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, dir.join(MANIFEST_FILE))?;
+        Ok(())
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser (manifest subset:
+// objects, arrays, strings, unsigned integers).
+// ---------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    U64(u64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+/// Look up a required key in an object's field list.
+fn field<'v>(fields: &'v [(String, Json)], key: &str) -> Result<&'v Json, ManifestError> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| ManifestError::Parse(format!("missing {key}")))
+}
+
+impl Json {
+    fn as_object(&self, what: &str) -> Result<&[(String, Json)], ManifestError> {
+        match self {
+            Json::Object(fields) => Ok(fields),
+            _ => Err(ManifestError::Parse(format!("{what}: expected object"))),
+        }
+    }
+
+    fn as_array(&self, what: &str) -> Result<&[Json], ManifestError> {
+        match self {
+            Json::Array(items) => Ok(items),
+            _ => Err(ManifestError::Parse(format!("{what}: expected array"))),
+        }
+    }
+
+    fn as_u64(&self, what: &str) -> Result<u64, ManifestError> {
+        match self {
+            Json::U64(v) => Ok(*v),
+            _ => Err(ManifestError::Parse(format!("{what}: expected integer"))),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, ManifestError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err(ManifestError::Parse(format!("{what}: expected string"))),
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(text: &'a str) -> JsonParser<'a> {
+        JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse(mut self) -> Result<Json, ManifestError> {
+        let v = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing characters"));
+        }
+        Ok(v)
+    }
+
+    fn err(&self, msg: &str) -> ManifestError {
+        ManifestError::Parse(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ManifestError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ManifestError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ManifestError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ManifestError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ManifestError> {
+        if self.peek() != Some(b'"') {
+            return Err(self.err("expected a string"));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| self.err("bad \\u escape"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // boundaries are valid).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|b| b & 0xC0 == 0x80)
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos]).expect("utf8 input"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ManifestError> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit())
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<u64>()
+            .map(Json::U64)
+            .map_err(|_| self.err("integer out of range"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_empty_and_populated() {
+        let empty = Manifest::default();
+        assert_eq!(Manifest::from_json(&empty.to_json()).unwrap(), empty);
+
+        let m = Manifest {
+            snapshots: vec![
+                SnapshotEntry {
+                    epoch: 0,
+                    file: "snapshot-0000000000.snap".into(),
+                    wal_start: 0,
+                },
+                SnapshotEntry {
+                    epoch: 1,
+                    file: "snapshot-0000000001.snap".into(),
+                    wal_start: 7,
+                },
+            ],
+        };
+        assert_eq!(Manifest::from_json(&m.to_json()).unwrap(), m);
+        assert_eq!(m.next_epoch(), 2);
+        assert_eq!(m.latest().unwrap().wal_start, 7);
+    }
+
+    #[test]
+    fn rejects_bad_documents() {
+        assert!(Manifest::from_json("").is_err());
+        assert!(Manifest::from_json("{}").is_err()); // missing version
+        assert!(Manifest::from_json("{\"format_version\": 99}").is_err());
+        assert!(Manifest::from_json("{\"format_version\": 1} junk").is_err());
+        // Epochs must increase.
+        let bad = "{\"format_version\": 1, \"snapshots\": [\
+                   {\"epoch\": 1, \"file\": \"a\", \"wal_start\": 0},\
+                   {\"epoch\": 1, \"file\": \"b\", \"wal_start\": 0}]}";
+        assert!(Manifest::from_json(bad).is_err());
+    }
+
+    #[test]
+    fn escaped_strings_roundtrip() {
+        let m = Manifest {
+            snapshots: vec![SnapshotEntry {
+                epoch: 0,
+                file: "we\"ird\\name\n".into(),
+                wal_start: 3,
+            }],
+        };
+        assert_eq!(Manifest::from_json(&m.to_json()).unwrap(), m);
+    }
+
+    #[test]
+    fn load_store_cycle() {
+        let dir = std::env::temp_dir().join(format!("itg-manifest-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), Manifest::default());
+        let m = Manifest {
+            snapshots: vec![SnapshotEntry {
+                epoch: 0,
+                file: "s0".into(),
+                wal_start: 0,
+            }],
+        };
+        m.store(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), m);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

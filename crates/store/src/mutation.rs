@@ -27,14 +27,37 @@ impl EdgeMutation {
 
 /// A batch of mutations applied atomically as one snapshot transition
 /// `G_{t-1} → G_t`.
+///
+/// Internally the batch is stored *partitioned*: all insertions first
+/// (in their original relative order), then all deletions, with the
+/// partition point cached. [`MutationBatch::inserts`] and
+/// [`MutationBatch::deletes`] are therefore O(1) slices rather than
+/// full-batch filters — the WAL encoder and receipt/LSN accounting walk
+/// them without rescanning. The partition is stable, so relative order
+/// within each class is preserved; stores consolidate before ingesting
+/// (see [`MutationBatch::consolidated`]), so inter-class order carries
+/// no meaning.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MutationBatch {
-    pub edges: Vec<EdgeMutation>,
+    edges: Vec<EdgeMutation>,
+    /// `edges[..n_inserts]` are insertions, `edges[n_inserts..]` deletions.
+    n_inserts: usize,
 }
 
 impl MutationBatch {
     pub fn new(edges: Vec<EdgeMutation>) -> MutationBatch {
-        MutationBatch { edges }
+        let mut ins: Vec<EdgeMutation> = Vec::with_capacity(edges.len());
+        let mut del: Vec<EdgeMutation> = Vec::new();
+        for e in edges {
+            if e.is_insert() {
+                ins.push(e);
+            } else {
+                del.push(e);
+            }
+        }
+        let n_inserts = ins.len();
+        ins.extend_from_slice(&del);
+        MutationBatch { edges: ins, n_inserts }
     }
 
     pub fn len(&self) -> usize {
@@ -45,12 +68,29 @@ impl MutationBatch {
         self.edges.is_empty()
     }
 
-    pub fn inserts(&self) -> impl Iterator<Item = &EdgeMutation> {
-        self.edges.iter().filter(|e| e.is_insert())
+    /// All mutations, insertions first (see the type-level invariant).
+    pub fn edges(&self) -> &[EdgeMutation] {
+        &self.edges
     }
 
+    /// The insertion prefix; O(1), no rescan.
+    pub fn inserts(&self) -> impl Iterator<Item = &EdgeMutation> {
+        self.edges[..self.n_inserts].iter()
+    }
+
+    /// The deletion suffix; O(1), no rescan.
     pub fn deletes(&self) -> impl Iterator<Item = &EdgeMutation> {
-        self.edges.iter().filter(|e| !e.is_insert())
+        self.edges[self.n_inserts..].iter()
+    }
+
+    /// How many mutations are insertions, without iterating.
+    pub fn num_inserts(&self) -> usize {
+        self.n_inserts
+    }
+
+    /// How many mutations are deletions, without iterating.
+    pub fn num_deletes(&self) -> usize {
+        self.edges.len() - self.n_inserts
     }
 
     /// For undirected graphs: mirror every mutation so both directions are
@@ -66,7 +106,7 @@ impl MutationBatch {
                 mult: e.mult,
             });
         }
-        MutationBatch { edges }
+        MutationBatch::new(edges)
     }
 
     /// The largest vertex id referenced, if any.
@@ -76,7 +116,9 @@ impl MutationBatch {
 
     /// Serialize to the little-endian wire layout used by the engine's
     /// transport when shipping a batch to partition worker processes:
-    /// `[count: u64][src: u64, dst: u64, mult: i8]*`.
+    /// `[count: u64][src: u64, dst: u64, mult: i8]*`. Mutations are
+    /// emitted in stored (partitioned) order, so encode∘decode is the
+    /// identity on the canonical form.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(8 + self.edges.len() * 17);
         out.extend_from_slice(&(self.edges.len() as u64).to_le_bytes());
@@ -104,7 +146,7 @@ impl MutationBatch {
                 mult: rec[16] as i8,
             });
         }
-        Some(MutationBatch { edges })
+        Some(MutationBatch::new(edges))
     }
 
     /// Consolidate to net multiplicities per edge: an insert and a delete
@@ -126,7 +168,7 @@ impl MutationBatch {
                 mult: if m > 0 { 1 } else { -1 },
             })
             .collect();
-        MutationBatch { edges }
+        MutationBatch::new(edges)
     }
 }
 
@@ -142,11 +184,37 @@ mod tests {
         ]);
         let m = b.mirrored();
         assert_eq!(m.len(), 4);
-        assert!(m.edges.contains(&EdgeMutation::insert(2, 1)));
-        assert!(m.edges.contains(&EdgeMutation::delete(4, 3)));
+        assert!(m.edges().contains(&EdgeMutation::insert(2, 1)));
+        assert!(m.edges().contains(&EdgeMutation::delete(4, 3)));
         assert_eq!(m.inserts().count(), 2);
         assert_eq!(m.deletes().count(), 2);
+        assert_eq!(m.num_inserts(), 2);
+        assert_eq!(m.num_deletes(), 2);
         assert_eq!(m.max_vertex(), Some(4));
+    }
+
+    #[test]
+    fn partition_is_stable_and_cached() {
+        let b = MutationBatch::new(vec![
+            EdgeMutation::delete(9, 9),
+            EdgeMutation::insert(1, 2),
+            EdgeMutation::delete(5, 6),
+            EdgeMutation::insert(3, 4),
+        ]);
+        // Insertions first, each class in original relative order.
+        assert_eq!(
+            b.edges(),
+            &[
+                EdgeMutation::insert(1, 2),
+                EdgeMutation::insert(3, 4),
+                EdgeMutation::delete(9, 9),
+                EdgeMutation::delete(5, 6),
+            ]
+        );
+        assert_eq!(b.num_inserts(), 2);
+        assert_eq!(b.num_deletes(), 2);
+        assert!(b.inserts().all(|e| e.is_insert()));
+        assert!(b.deletes().all(|e| !e.is_insert()));
     }
 
     #[test]
@@ -156,6 +224,8 @@ mod tests {
             EdgeMutation::delete(7, 3),
         ]);
         assert_eq!(MutationBatch::decode(&b.encode()), Some(b.clone()));
+        // encode∘decode∘encode is the identity (canonical form).
+        assert_eq!(MutationBatch::decode(&b.encode()).unwrap().encode(), b.encode());
         let empty = MutationBatch::default();
         assert_eq!(MutationBatch::decode(&empty.encode()), Some(empty));
     }

@@ -1,0 +1,438 @@
+//! Write-ahead log for the mutation stream (ROADMAP item 2).
+//!
+//! Durable incremental sessions log every state-changing command *before*
+//! executing it; because the engine's runs are deterministic given the
+//! stores and the command sequence, replaying the log over the latest
+//! snapshot reconstructs the exact pre-crash state (see DESIGN.md §9).
+//!
+//! Record frame on disk (all little-endian):
+//!
+//! ```text
+//! [len: u32]  [magic: u16 = 0xA17C]  [ver: u8 = 1]  [tag: u8]  [lsn: u64]  [body…]  [crc: u32]
+//!             ^ payload starts here; `len` counts payload bytes only
+//! ```
+//!
+//! `crc` is [`crate::codec::crc32`] over the payload. The reader tolerates
+//! exactly one failure shape without complaint: a *torn tail*, i.e. the
+//! file ends mid-frame because the process died inside a write. Everything
+//! else — bad magic, bad version, a CRC mismatch on a complete frame, a
+//! non-consecutive LSN — is corruption and fails loudly.
+//!
+//! Fault injection for the kill-and-recover test: `ITG_CRASH_AT=<lsn>`
+//! aborts the process immediately after record `lsn` is durably written
+//! (fsync included); with `ITG_CRASH_TORN=1` the record is instead written
+//! *partially* (about half its bytes) before the abort, leaving a torn
+//! tail for recovery to skip.
+
+use crate::codec::{crc32, CodecError, Reader, Writer};
+use crate::mutation::MutationBatch;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+/// WAL record magic: the first two payload bytes of every record.
+pub const WAL_MAGIC: u16 = 0xA17C;
+/// WAL format version; bumped on any layout change.
+pub const WAL_VERSION: u8 = 1;
+/// Upper bound on a single record's payload, as a corruption guard.
+pub const MAX_RECORD_BYTES: u32 = 1 << 30;
+
+/// The WAL file name inside a durability directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// WAL failures: IO from the filesystem layer, corruption from the byte
+/// layer.
+#[derive(Debug)]
+pub enum WalError {
+    Io(std::io::Error),
+    Corrupt(CodecError),
+    /// Records must carry consecutive LSNs; a gap means a lost write.
+    LsnGap { expected: u64, found: u64 },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal io error: {e}"),
+            WalError::Corrupt(e) => write!(f, "wal corrupt: {e}"),
+            WalError::LsnGap { expected, found } => {
+                write!(f, "wal lsn gap: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> WalError {
+        WalError::Io(e)
+    }
+}
+
+impl From<CodecError> for WalError {
+    fn from(e: CodecError) -> WalError {
+        WalError::Corrupt(e)
+    }
+}
+
+/// One logged command. The engine executes these in order on replay;
+/// anything that changes store or session state must pass through here
+/// first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalEntry {
+    /// The initial one-shot run over `G_0`.
+    OneshotRun,
+    /// A mutation batch `ΔG_t` (logged before `apply_mutations`).
+    Batch(MutationBatch),
+    /// An incremental run over the latest snapshot transition.
+    IncrementalRun,
+    /// An edge-store compaction (collapses delta chains; changes byte
+    /// layout, so it must replay at the same point in the history).
+    Compact,
+}
+
+impl WalEntry {
+    fn tag(&self) -> u8 {
+        match self {
+            WalEntry::OneshotRun => 1,
+            WalEntry::Batch(_) => 2,
+            WalEntry::IncrementalRun => 3,
+            WalEntry::Compact => 4,
+        }
+    }
+}
+
+/// A decoded record: the entry plus its log sequence number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    pub lsn: u64,
+    pub entry: WalEntry,
+}
+
+/// Encode one record into its on-disk frame (`[len][payload][crc]`).
+pub fn encode_record(lsn: u64, entry: &WalEntry) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u16(WAL_MAGIC);
+    w.u8(WAL_VERSION);
+    w.u8(entry.tag());
+    w.u64(lsn);
+    if let WalEntry::Batch(batch) = entry {
+        let body = batch.encode();
+        w.buf.extend_from_slice(&body);
+    }
+    let payload = w.buf;
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame
+}
+
+/// Decode one payload (the bytes between `len` and `crc`, already
+/// CRC-verified) into a record.
+pub fn decode_payload(payload: &[u8]) -> Result<WalRecord, CodecError> {
+    let mut r = Reader::new(payload);
+    let magic = r.u16()?;
+    if magic != WAL_MAGIC {
+        return Err(CodecError::BadMagic(magic as u32));
+    }
+    let ver = r.u8()?;
+    if ver != WAL_VERSION {
+        return Err(CodecError::BadVersion(ver));
+    }
+    let tag = r.u8()?;
+    let lsn = r.u64()?;
+    let entry = match tag {
+        1 => WalEntry::OneshotRun,
+        2 => {
+            let body = &payload[12..];
+            let batch = MutationBatch::decode(body).ok_or(CodecError::Truncated)?;
+            return Ok(WalRecord {
+                lsn,
+                entry: WalEntry::Batch(batch),
+            });
+        }
+        3 => WalEntry::IncrementalRun,
+        4 => WalEntry::Compact,
+        tag => return Err(CodecError::BadTag { what: "wal entry", tag }),
+    };
+    r.finish()?;
+    Ok(WalRecord { lsn, entry })
+}
+
+/// The result of scanning a WAL file.
+#[derive(Debug)]
+pub struct WalScan {
+    /// All complete, CRC-valid records in LSN order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix (everything after it is torn).
+    pub valid_bytes: u64,
+    /// Whether a torn final record was skipped.
+    pub torn_tail: bool,
+}
+
+impl WalScan {
+    /// The next LSN an appender should use.
+    pub fn next_lsn(&self) -> u64 {
+        self.records.last().map_or(0, |r| r.lsn + 1)
+    }
+}
+
+/// Scan a WAL file, validating every frame. A torn final record (the file
+/// ends mid-frame) is tolerated and reported; a CRC mismatch or header
+/// error on a *complete* frame is corruption.
+pub fn scan(path: &Path) -> Result<WalScan, WalError> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e.into()),
+    }
+    scan_bytes(&bytes)
+}
+
+/// [`scan`] over an in-memory image (the testable core).
+pub fn scan_bytes(bytes: &[u8]) -> Result<WalScan, WalError> {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    let mut torn_tail = false;
+    let mut expected_lsn = 0u64;
+    while pos < bytes.len() {
+        let rest = &bytes[pos..];
+        if rest.len() < 4 {
+            torn_tail = true;
+            break;
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().unwrap());
+        if len > MAX_RECORD_BYTES {
+            return Err(CodecError::Truncated.into());
+        }
+        let frame_len = 4 + len as usize + 4;
+        if rest.len() < frame_len {
+            torn_tail = true;
+            break;
+        }
+        let payload = &rest[4..4 + len as usize];
+        let stored_crc =
+            u32::from_le_bytes(rest[4 + len as usize..frame_len].try_into().unwrap());
+        let actual = crc32(payload);
+        if stored_crc != actual {
+            return Err(CodecError::Crc {
+                expected: stored_crc,
+                actual,
+            }
+            .into());
+        }
+        let rec = decode_payload(payload)?;
+        if rec.lsn != expected_lsn {
+            return Err(WalError::LsnGap {
+                expected: expected_lsn,
+                found: rec.lsn,
+            });
+        }
+        expected_lsn += 1;
+        records.push(rec);
+        pos += frame_len;
+    }
+    Ok(WalScan {
+        records,
+        valid_bytes: pos as u64,
+        torn_tail,
+    })
+}
+
+/// Appender handle: owns the open file and the next LSN.
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    next_lsn: u64,
+    /// Fault injection: abort after durably writing this LSN.
+    crash_at: Option<u64>,
+    /// Fault injection: make the crash record a torn (partial) write.
+    crash_torn: bool,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("path", &self.path)
+            .field("next_lsn", &self.next_lsn)
+            .finish()
+    }
+}
+
+impl Wal {
+    /// Open (or create) the WAL at `dir/wal.log` for appending, truncating
+    /// any torn tail left by a previous crash so new frames never land
+    /// after garbage. Returns the appender plus the scan of the existing
+    /// valid prefix.
+    pub fn open(dir: &Path) -> Result<(Wal, WalScan), WalError> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(WAL_FILE);
+        let scan = scan(&path)?;
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        if scan.torn_tail {
+            file.set_len(scan.valid_bytes)?;
+            file.sync_data()?;
+        }
+        let crash_at = std::env::var("ITG_CRASH_AT")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok());
+        let crash_torn = std::env::var("ITG_CRASH_TORN").is_ok_and(|v| v == "1");
+        let wal = Wal {
+            file,
+            path,
+            next_lsn: scan.next_lsn(),
+            crash_at,
+            crash_torn,
+        };
+        Ok((wal, scan))
+    }
+
+    /// The LSN the next [`Wal::append`] will assign.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// The WAL file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one entry, fsync it, and return its LSN. This is the
+    /// log-before-execute point: callers must not mutate state until this
+    /// returns.
+    pub fn append(&mut self, entry: &WalEntry) -> Result<u64, WalError> {
+        let lsn = self.next_lsn;
+        let frame = encode_record(lsn, entry);
+        if self.crash_at == Some(lsn) && self.crash_torn {
+            // Simulate dying mid-write: half a frame, then the end.
+            let half = frame.len() / 2;
+            self.file.write_all(&frame[..half])?;
+            self.file.sync_data()?;
+            std::process::abort();
+        }
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        if self.crash_at == Some(lsn) {
+            std::process::abort();
+        }
+        self.next_lsn = lsn + 1;
+        Ok(lsn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mutation::EdgeMutation;
+
+    fn sample_entries() -> Vec<WalEntry> {
+        vec![
+            WalEntry::OneshotRun,
+            WalEntry::Batch(MutationBatch::new(vec![
+                EdgeMutation::insert(1, 2),
+                EdgeMutation::delete(3, 4),
+            ])),
+            WalEntry::IncrementalRun,
+            WalEntry::Compact,
+            WalEntry::Batch(MutationBatch::default()),
+        ]
+    }
+
+    fn image(entries: &[WalEntry]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (lsn, e) in entries.iter().enumerate() {
+            out.extend_from_slice(&encode_record(lsn as u64, e));
+        }
+        out
+    }
+
+    #[test]
+    fn roundtrip_all_entry_kinds() {
+        let entries = sample_entries();
+        let scan = scan_bytes(&image(&entries)).unwrap();
+        assert!(!scan.torn_tail);
+        assert_eq!(scan.records.len(), entries.len());
+        for (i, rec) in scan.records.iter().enumerate() {
+            assert_eq!(rec.lsn, i as u64);
+            assert_eq!(&rec.entry, &entries[i]);
+        }
+        assert_eq!(scan.next_lsn(), entries.len() as u64);
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_at_every_cut() {
+        let entries = sample_entries();
+        let full = image(&entries);
+        let last_frame = encode_record(4, &entries[4]);
+        let body_end = full.len() - last_frame.len();
+        for cut in body_end + 1..full.len() {
+            let scan = scan_bytes(&full[..cut]).unwrap();
+            assert!(scan.torn_tail, "cut at {cut} should be torn");
+            assert_eq!(scan.records.len(), 4);
+            assert_eq!(scan.valid_bytes, body_end as u64);
+        }
+    }
+
+    #[test]
+    fn crc_corruption_is_an_error() {
+        let entries = sample_entries();
+        let mut bytes = image(&entries);
+        // Flip a byte inside the second record's payload.
+        let first_len = encode_record(0, &entries[0]).len();
+        bytes[first_len + 10] ^= 0xFF;
+        assert!(matches!(
+            scan_bytes(&bytes),
+            Err(WalError::Corrupt(CodecError::Crc { .. }))
+        ));
+    }
+
+    #[test]
+    fn lsn_gap_is_an_error() {
+        let mut bytes = encode_record(0, &WalEntry::OneshotRun);
+        bytes.extend_from_slice(&encode_record(2, &WalEntry::IncrementalRun));
+        assert!(matches!(
+            scan_bytes(&bytes),
+            Err(WalError::LsnGap {
+                expected: 1,
+                found: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn appender_resumes_after_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("itg-wal-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (mut wal, scan) = Wal::open(&dir).unwrap();
+            assert_eq!(scan.records.len(), 0);
+            assert_eq!(wal.append(&WalEntry::OneshotRun).unwrap(), 0);
+            assert_eq!(wal.append(&WalEntry::IncrementalRun).unwrap(), 1);
+        }
+        // Tear the tail by appending garbage that looks like a frame start.
+        {
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(dir.join(WAL_FILE))
+                .unwrap();
+            f.write_all(&[0x30, 0, 0, 0, 0xAA]).unwrap();
+        }
+        let (mut wal, scan) = Wal::open(&dir).unwrap();
+        assert!(scan.torn_tail);
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(wal.next_lsn(), 2);
+        assert_eq!(wal.append(&WalEntry::Compact).unwrap(), 2);
+        let rescan = scan_bytes(&std::fs::read(dir.join(WAL_FILE)).unwrap()).unwrap();
+        assert!(!rescan.torn_tail);
+        assert_eq!(rescan.records.len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -41,7 +41,7 @@ fn main() {
             insert_pct: 60,
         });
         // Track the graph for the re-execution comparison.
-        for m in &batch.edges {
+        for m in batch.edges() {
             let key = (m.src.min(m.dst), m.src.max(m.dst));
             if m.is_insert() {
                 alive.push(key);

@@ -32,7 +32,7 @@ fn rmat_triangle_pipeline_matches_reference() {
             size: 20,
             insert_pct: 70,
         });
-        for m in &batch.edges {
+        for m in batch.edges() {
             let key = (m.src.min(m.dst), m.src.max(m.dst));
             if m.is_insert() {
                 alive.push(key);
@@ -70,7 +70,7 @@ fn wcc_pipeline_on_rmat_with_heavy_deletions() {
             size: 24,
             insert_pct: 25,
         });
-        for m in &batch.edges {
+        for m in batch.edges() {
             let key = (m.src.min(m.dst), m.src.max(m.dst));
             if m.is_insert() {
                 alive.push(key);

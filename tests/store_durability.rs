@@ -125,7 +125,7 @@ proptest! {
             if muts.is_empty() {
                 continue;
             }
-            store.apply_batch(&MutationBatch::new(muts));
+            store.commit(&MutationBatch::new(muts));
 
             // New view matches the model.
             for v in 0..12u64 {
