@@ -17,11 +17,7 @@ fn bench_walk_enumeration(c: &mut Criterion) {
         let ds = Dataset::rmat_undirected("b", x, 42);
         group.bench_with_input(BenchmarkId::new("tc_oneshot", x), &ds, |b, ds| {
             b.iter(|| {
-                let mut s = Session::from_source(
-                    iturbograph::algorithms::TRIANGLE_COUNT,
-                    &ds.graph_input(),
-                    EngineConfig::default(),
-                )
+                let mut s = SessionBuilder::from_config(EngineConfig::default()).from_source(iturbograph::algorithms::TRIANGLE_COUNT, &ds.graph_input())
                 .unwrap();
                 s.run_oneshot();
                 s.global_value("cnts", None).unwrap()
@@ -43,11 +39,7 @@ fn bench_delta_walks(c: &mut Criterion) {
                         opts,
                         ..EngineConfig::default()
                     };
-                    let mut s = Session::from_source(
-                        iturbograph::algorithms::TRIANGLE_COUNT,
-                        &ds.graph_input(),
-                        cfg,
-                    )
+                    let mut s = SessionBuilder::from_config(cfg).from_source(iturbograph::algorithms::TRIANGLE_COUNT, &ds.graph_input())
                     .unwrap();
                     s.run_oneshot();
                     let batch = ds.next_batch(50, 75);
@@ -78,11 +70,7 @@ fn bench_intra_partition_scaling(c: &mut Criterion) {
             &ds,
             |b, ds| {
                 b.iter(|| {
-                    let mut s = Session::from_source(
-                        iturbograph::algorithms::TRIANGLE_COUNT,
-                        &ds.graph_input(),
-                        EngineConfig::default().with_threads(threads),
-                    )
+                    let mut s = SessionBuilder::from_config(EngineConfig::default().with_threads(threads)).from_source(iturbograph::algorithms::TRIANGLE_COUNT, &ds.graph_input())
                     .unwrap();
                     s.run_oneshot();
                     s.global_value("cnts", None).unwrap()
@@ -202,11 +190,7 @@ fn bench_obs_overhead(c: &mut Criterion) {
                     },
                     ..EngineConfig::default()
                 };
-                let mut s = Session::from_source(
-                    iturbograph::algorithms::PAGERANK,
-                    &ds.graph_input(),
-                    cfg,
-                )
+                let mut s = SessionBuilder::from_config(cfg).from_source(iturbograph::algorithms::PAGERANK, &ds.graph_input())
                 .unwrap();
                 s.run_oneshot().supersteps
             });
@@ -248,11 +232,7 @@ fn bench_wal_overhead(c: &mut Criterion) {
                         durability: durability.clone(),
                         ..EngineConfig::default()
                     };
-                    let mut s = Session::from_source(
-                        iturbograph::algorithms::PAGERANK,
-                        &ds.graph_input(),
-                        cfg,
-                    )
+                    let mut s = SessionBuilder::from_config(cfg).from_source(iturbograph::algorithms::PAGERANK, &ds.graph_input())
                     .unwrap();
                     s.run_oneshot();
                     s.apply_mutations(&batch);
@@ -261,6 +241,53 @@ fn bench_wal_overhead(c: &mut Criterion) {
                         let _ = std::fs::remove_dir_all(dir);
                     }
                     m
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// The specialization + NGW-cache acceptance bench: the same incremental
+/// PageRank maintenance under (a) the generic boxed-`Value` accumulate
+/// path with the segment cache off and (b) the monomorphized f64 lanes
+/// with an unbounded cache. The PR's acceptance bound is a ≥2× speedup of
+/// (b) over (a); EXPERIMENTS.md records the measured ratio.
+fn bench_traverse_specialized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traverse_specialized");
+    group.sample_size(10);
+    for (label, specialize, cache_bytes) in [
+        ("generic_nocache", false, 0u64),
+        ("specialized_cached", true, u64::MAX),
+    ] {
+        group.bench_function(BenchmarkId::new("pr_incremental", label), |b| {
+            b.iter_batched(
+                || {
+                    let mut ds = Dataset::rmat_directed("b", 11, 7);
+                    let cfg = EngineConfig {
+                        max_supersteps: 10,
+                        opts: OptFlags {
+                            specialize,
+                            ..OptFlags::default()
+                        },
+                        cache_bytes,
+                        ..EngineConfig::default()
+                    };
+                    let mut s = SessionBuilder::from_config(cfg)
+                        .from_source(iturbograph::algorithms::PAGERANK, &ds.graph_input())
+                        .unwrap();
+                    s.run_oneshot();
+                    let batches: Vec<_> = (0..3).map(|_| ds.next_batch(150, 225)).collect();
+                    (s, batches)
+                },
+                |(mut s, batches)| {
+                    let mut supersteps = 0;
+                    for batch in &batches {
+                        s.apply_mutations(batch);
+                        supersteps += s.run_incremental().supersteps;
+                    }
+                    supersteps
                 },
                 criterion::BatchSize::LargeInput,
             );
@@ -286,6 +313,7 @@ criterion_group!(
     bench_baseline_arrangement,
     bench_obs_overhead,
     bench_wal_overhead,
+    bench_traverse_specialized,
     bench_graphgen,
 );
 criterion_main!(benches);

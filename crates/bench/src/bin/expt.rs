@@ -138,7 +138,7 @@ fn profile(algo: &str) {
     } else {
         itg_obs::Recorder::enabled()
     };
-    let mut session = Session::from_source(&src, &ds.graph_input(), cfg).unwrap();
+    let mut session = SessionBuilder::from_config(cfg).from_source(&src, &ds.graph_input()).unwrap();
     let labels = session.operator_labels();
 
     let one = session.run_oneshot();
@@ -255,11 +255,7 @@ fn table6() {
         let gb_one = t0.elapsed().as_secs_f64();
 
         // iTurboGraph path (shares the same mutation stream).
-        let mut session = Session::from_source(
-            src,
-            &ds.graph_input(),
-            single_machine_cfg(if algo == "PR" { "pr" } else { "lp" }),
-        )
+        let mut session = SessionBuilder::from_config(single_machine_cfg(if algo == "PR" { "pr" } else { "lp" })).from_source(src, &ds.graph_input())
         .unwrap();
         let itbgpp_one = session.run_oneshot().secs();
 
@@ -757,7 +753,7 @@ fn fig17() {
             let mut cfg = single_machine_cfg(algo);
             cfg.maintenance = policy;
             let mut session =
-                Session::from_source(&src, &ds.graph_input(), cfg).unwrap();
+                SessionBuilder::from_config(cfg).from_source(&src, &ds.graph_input()).unwrap();
             session.run_oneshot();
             let mut times = Vec::with_capacity(snapshots);
             for _ in 0..snapshots {

@@ -218,8 +218,9 @@ pub fn run_itbgpp(
     batch_size: usize,
     insert_pct: u32,
 ) -> IncrementalResult {
-    let mut session =
-        Session::from_source(src, &dataset.graph_input(), cfg).expect("program compiles");
+    let mut session = SessionBuilder::from_config(cfg)
+        .from_source(src, &dataset.graph_input())
+        .expect("program compiles");
     let one_shot = session.run_oneshot();
     let mut incremental = Vec::with_capacity(batches);
     for _ in 0..batches {

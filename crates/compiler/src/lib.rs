@@ -16,8 +16,8 @@ pub mod optimize;
 pub mod plan;
 
 pub use plan::{
-    ActionTarget, CompiledProgram, DeltaSubQuery, HopSpec, ProgramAnalysis, TraversePlan, VStmt,
-    VertexProgram, WalkAction, WalkQuery,
+    AccmLane, ActionTarget, CompiledProgram, DeltaSubQuery, HopSpec, ProgramAnalysis, TraversePlan,
+    VStmt, VertexProgram, WalkAction, WalkQuery,
 };
 
 use itg_lnga::{CheckedProgram, LngaError};
@@ -363,6 +363,33 @@ mod tests {
         // Recompiling the same source yields identical ids.
         let p2 = compile_source(PR).unwrap();
         assert_eq!(p.operator_labels(), p2.operator_labels());
+    }
+
+    #[test]
+    fn lane_selection_is_a_pure_function_of_the_declaration() {
+        use crate::plan::AccmLane;
+        use itg_gsa::value::PrimType;
+        let cases = [
+            (AccmOp::Sum, PrimType::Long, AccmLane::SumI64),
+            (AccmOp::Sum, PrimType::Double, AccmLane::SumF64),
+            (AccmOp::Min, PrimType::Long, AccmLane::MinI64),
+            (AccmOp::Min, PrimType::Double, AccmLane::MinF64),
+            (AccmOp::Max, PrimType::Long, AccmLane::MaxI64),
+            (AccmOp::Max, PrimType::Double, AccmLane::MaxF64),
+            (AccmOp::Or, PrimType::Bool, AccmLane::OrBool),
+            (AccmOp::And, PrimType::Bool, AccmLane::AndBool),
+            (AccmOp::Prod, PrimType::Double, AccmLane::Generic),
+            (AccmOp::Sum, PrimType::Int, AccmLane::Generic),
+        ];
+        for (op, prim, want) in cases {
+            assert_eq!(AccmLane::select(op, prim), want, "{op:?}/{prim:?}");
+        }
+        // PR's double-SUM accumulator and TC's long-SUM global both land on
+        // specialized lanes.
+        let pr = compile_source(PR).unwrap();
+        assert_eq!(pr.vertex_lanes(), vec![AccmLane::SumF64]);
+        let tc = compile_source(TC).unwrap();
+        assert_eq!(tc.global_lanes(), vec![AccmLane::SumI64]);
     }
 
     #[test]

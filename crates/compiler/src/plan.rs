@@ -11,6 +11,63 @@ use itg_gsa::accm::AccmOp;
 use itg_gsa::expr::{EdgeDir, Expr};
 use itg_gsa::value::PrimType;
 
+/// The specialized accumulate lane an accumulator compiles to.
+///
+/// Selected once at plan-compile time (a pure function of the declared
+/// `(op, prim)` pair), so the engine's Δ-walk accumulate path runs
+/// monomorphic per-type cells instead of dispatching every contribution
+/// through the generic [`itg_gsa::Value`] machinery. Every lane is
+/// *bit-exact* with the generic path: the same combine/inverse/compare
+/// operations in the same order, just without the enum boxing.
+///
+/// Anything outside the table below (Prod, `int`/`float` prims) falls back
+/// to [`AccmLane::Generic`], which is the PR 5 code path unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccmLane {
+    /// `Accm<long, SUM>` — wrapping i64 addition, exact inverse.
+    SumI64,
+    /// `Accm<double, SUM>` — IEEE f64 addition replayed in contribution
+    /// order (non-associativity preserved; retraction adds `0.0 - v`).
+    SumF64,
+    /// `Accm<long, MIN>` — monoid lane with support counting.
+    MinI64,
+    /// `Accm<double, MIN>` — monoid lane via `total_cmp` (bitwise ties).
+    MinF64,
+    /// `Accm<long, MAX>`.
+    MaxI64,
+    /// `Accm<double, MAX>`.
+    MaxF64,
+    /// `Accm<bool, OR>` — the 1-byte existence lane (BFS/WCC frontiers).
+    OrBool,
+    /// `Accm<bool, AND>`.
+    AndBool,
+    /// The unspecialized `Value`-dispatch path.
+    Generic,
+}
+
+impl AccmLane {
+    /// Lane selection: the plan-compile-time mapping from a declared
+    /// accumulator to its specialized lane (DESIGN.md §10.1).
+    pub fn select(op: AccmOp, prim: PrimType) -> AccmLane {
+        match (op, prim) {
+            (AccmOp::Sum, PrimType::Long) => AccmLane::SumI64,
+            (AccmOp::Sum, PrimType::Double) => AccmLane::SumF64,
+            (AccmOp::Min, PrimType::Long) => AccmLane::MinI64,
+            (AccmOp::Min, PrimType::Double) => AccmLane::MinF64,
+            (AccmOp::Max, PrimType::Long) => AccmLane::MaxI64,
+            (AccmOp::Max, PrimType::Double) => AccmLane::MaxF64,
+            (AccmOp::Or, PrimType::Bool) => AccmLane::OrBool,
+            (AccmOp::And, PrimType::Bool) => AccmLane::AndBool,
+            _ => AccmLane::Generic,
+        }
+    }
+
+    /// Whether this is a specialized (non-`Generic`) lane.
+    pub fn is_specialized(&self) -> bool {
+        !matches!(self, AccmLane::Generic)
+    }
+}
+
 /// One hop of a walk: extend from walk position `source` along `dir`
 /// adjacency; keep extensions satisfying `constraint` (which may reference
 /// positions `0..=target`, where the new vertex is position `target`).
@@ -248,6 +305,26 @@ impl CompiledProgram {
             labels.push((sq.op_id, format!("ΔQ{} ω({stream})", sq.query)));
         }
         labels
+    }
+
+    /// Per-vertex-accumulator lane selection (see [`AccmLane::select`]).
+    /// Computed from the symbol table; the engine caches the result once
+    /// per session, so lane dispatch never happens per tuple.
+    pub fn vertex_lanes(&self) -> Vec<AccmLane> {
+        self.symbols
+            .accms
+            .iter()
+            .map(|a| AccmLane::select(a.op, a.prim))
+            .collect()
+    }
+
+    /// Per-global-accumulator lane selection (see [`AccmLane::select`]).
+    pub fn global_lanes(&self) -> Vec<AccmLane> {
+        self.symbols
+            .globals
+            .iter()
+            .map(|a| AccmLane::select(a.op, a.prim))
+            .collect()
     }
 
     /// In Update-context expressions, accumulator `i` is addressed as

@@ -88,7 +88,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 ..EngineConfig::from_env()
             };
             let mut session =
-                Session::from_source(&src, &input, cfg).map_err(|e| e.to_string())?;
+                SessionBuilder::from_config(cfg).from_source(&src, &input).map_err(|e| e.to_string())?;
             let one = session.run_oneshot();
             println!("one-shot: {}", one.summary());
             print_results(&session);

@@ -130,6 +130,13 @@ impl SessionBuilder {
         self
     }
 
+    /// NGW segment cache capacity in bytes per attribute store (0 = off;
+    /// DESIGN.md §10.2). Overrides the `ITG_CACHE_BYTES` environment knob.
+    pub fn cache_bytes(mut self, bytes: u64) -> SessionBuilder {
+        self.cfg.cache_bytes = bytes;
+        self
+    }
+
     /// Escape hatch: the full configuration, for knobs without a dedicated
     /// builder method (window capacity, buffer pool, page size).
     pub fn config_mut(&mut self) -> &mut EngineConfig {

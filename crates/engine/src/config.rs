@@ -24,6 +24,12 @@ pub struct OptFlags {
     /// CNT — Min/Max with support counting: avoid monoid recomputation when
     /// the retracted value was not the sole extremum.
     pub min_count: bool,
+    /// SPEC — specialized accumulate lanes: monomorphize the Δ-walk
+    /// accumulate path per accumulator `(op, prim)` pair (DESIGN.md §10),
+    /// selected at plan-compile time. Off forces the generic `Value`
+    /// dispatch path for every accumulator; results are byte-identical
+    /// either way (the `specialization_equivalence` suite pins this).
+    pub specialize: bool,
 }
 
 impl Default for OptFlags {
@@ -33,6 +39,7 @@ impl Default for OptFlags {
             neighbor_prune: true,
             seek_window_share: true,
             min_count: true,
+            specialize: true,
         }
     }
 }
@@ -45,6 +52,7 @@ impl OptFlags {
             neighbor_prune: false,
             seek_window_share: false,
             min_count: false,
+            specialize: false,
         }
     }
 }
@@ -65,6 +73,16 @@ pub struct EngineConfig {
     pub max_supersteps: usize,
     /// Vertex-store delta maintenance policy (Figure 17).
     pub maintenance: MaintenancePolicy,
+    /// NGW segment cache capacity in bytes (DESIGN.md §10.2): window
+    /// segments reconstructed by the incremental read path are pinned
+    /// across supersteps and mutation batches, refreshed by overlaying only
+    /// the delta runs recorded since they were cached, and evicted by
+    /// cost-based score (`reload_bytes × (hits + 1) ÷ size`). `0` (the
+    /// default) disables caching — every window load re-reads its chain, so
+    /// maintenance-policy IO curves stay comparable to earlier PRs. Results
+    /// are byte-identical at every capacity (the `cache_oracle` suite pins
+    /// this). Environment knob: `ITG_CACHE_BYTES`.
+    pub cache_bytes: u64,
     pub opts: OptFlags,
     /// Run partition phases on worker threads (one per machine). With
     /// `false` the phases run sequentially — deterministic and easier to
@@ -111,6 +129,7 @@ impl Default for EngineConfig {
             page_size: 4096,
             max_supersteps: usize::MAX,
             maintenance: MaintenancePolicy::CostBased,
+            cache_bytes: 0,
             opts: OptFlags::default(),
             parallel: false,
             threads_per_machine: default_threads_per_machine(),
@@ -156,6 +175,7 @@ impl EngineConfig {
     /// | `ITG_THREADS_PER_MACHINE`  | `threads_per_machine` (integer ≥ 1)    |
     /// | `ITG_PROFILE`              | any non-empty value enables `obs`      |
     /// | `ITG_WAL_DIR`              | `durability = Wal { dir }`             |
+    /// | `ITG_CACHE_BYTES`          | `cache_bytes` (integer; NGW cache)     |
     ///
     /// Precedence: an explicit setter/builder call after this constructor
     /// overrides the environment, which overrides the built-in default.
@@ -179,6 +199,11 @@ impl EngineConfig {
                 dir: std::path::PathBuf::from(dir.trim()),
             };
         }
+        if let Some(bytes) = get("ITG_CACHE_BYTES")
+            .and_then(|s| s.trim().parse::<u64>().ok())
+        {
+            cfg.cache_bytes = bytes;
+        }
         cfg
     }
 }
@@ -192,7 +217,11 @@ mod tests {
         let c = EngineConfig::default();
         assert!(c.opts.traversal_reorder && c.opts.neighbor_prune);
         assert!(c.opts.seek_window_share && c.opts.min_count);
+        assert!(c.opts.specialize);
         assert_eq!(c.machines, 1);
+        // The NGW cache defaults off so maintenance-policy IO curves stay
+        // comparable across PRs.
+        assert_eq!(c.cache_bytes, 0);
     }
 
     #[test]
@@ -261,5 +290,17 @@ mod tests {
         let f = OptFlags::none();
         assert!(!f.traversal_reorder && !f.neighbor_prune);
         assert!(!f.seek_window_share && !f.min_count);
+        assert!(!f.specialize);
+    }
+
+    #[test]
+    fn cache_bytes_env_parses() {
+        let env = EngineConfig::from_env_lookup(|k| {
+            (k == "ITG_CACHE_BYTES").then(|| " 1048576 ".into())
+        });
+        assert_eq!(env.cache_bytes, 1 << 20);
+        let junk =
+            EngineConfig::from_env_lookup(|k| (k == "ITG_CACHE_BYTES").then(|| "lots".into()));
+        assert_eq!(junk.cache_bytes, 0);
     }
 }

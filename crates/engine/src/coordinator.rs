@@ -55,9 +55,11 @@ impl Session {
                 cfg.opts.neighbor_prune,
                 cfg.opts.seek_window_share,
                 cfg.opts.min_count,
+                cfg.opts.specialize,
             ],
             parallel: cfg.parallel,
             threads_per_machine: cfg.threads_per_machine as u64,
+            cache_bytes: cfg.cache_bytes,
         };
         let workers = t.workers();
         for rank in 0..workers {

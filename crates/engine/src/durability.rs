@@ -38,7 +38,7 @@ use std::path::{Path, PathBuf};
 
 /// Snapshot-payload format version (inside the checksummed
 /// [`itg_store::snapshot`] container, which carries its own magic).
-const SESSION_SNAPSHOT_VERSION: u8 = 1;
+const SESSION_SNAPSHOT_VERSION: u8 = 2;
 
 /// Whether and where a session persists its command history.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -266,6 +266,44 @@ impl Session {
         w.buf
     }
 
+    /// The *dynamic* state only — partition stores and working arrays,
+    /// global history, superstep counts — with the configuration subset
+    /// left out. Two sessions configured differently (thread count,
+    /// transport, `opts.specialize`, `cache_bytes`) but fed the same
+    /// commands must produce identical dynamic images; the equivalence
+    /// suites compare this across configurations where [`state_image`]
+    /// would trivially differ on the config prefix.
+    ///
+    /// [`state_image`]: Session::state_image
+    pub fn dynamic_state_image(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        for part in &self.parts {
+            w.u64(part.n_local as u64);
+            part.attr_store.encode_into(&mut w);
+            part.accm_store.encode_into(&mut w);
+            put_columns(&mut w, &part.cur_attrs);
+            put_columns(&mut w, &part.prev_attrs);
+            put_columns(&mut w, &part.cur_accm);
+            put_columns(&mut w, &part.prev_accm);
+        }
+        w.u64(self.globals_history.len() as u64);
+        for snap in &self.globals_history {
+            w.u64(snap.len() as u64);
+            for step in snap {
+                w.u64(step.len() as u64);
+                for v in step {
+                    put_value(&mut w, v);
+                }
+            }
+        }
+        w.u64(self.superstep_counts.len() as u64);
+        for &s in &self.superstep_counts {
+            w.u64(s as u64);
+        }
+        w.bool(self.ran_oneshot);
+        w.buf
+    }
+
     // ---------------------------------------------------------------
     // Full-state codec.
     // ---------------------------------------------------------------
@@ -294,6 +332,11 @@ impl Session {
         w.bool(c.opts.neighbor_prune);
         w.bool(c.opts.seek_window_share);
         w.bool(c.opts.min_count);
+        w.bool(c.opts.specialize);
+        // `cache_bytes` is deliberately NOT serialized: the NGW cache is
+        // semantically transparent (byte-identical results at every
+        // capacity), so a recovered session simply replays cache-cold
+        // under the recovering process's configuration.
         w.bool(c.parallel);
         w.u64(c.threads_per_machine as u64);
 
@@ -348,6 +391,7 @@ impl Session {
         opts.neighbor_prune = r.bool()?;
         opts.seek_window_share = r.bool()?;
         opts.min_count = r.bool()?;
+        opts.specialize = r.bool()?;
         let parallel = r.bool()?;
         let threads_per_machine = r.u64()? as usize;
         let cfg = EngineConfig {
@@ -357,6 +401,7 @@ impl Session {
             page_size,
             max_supersteps,
             maintenance,
+            cache_bytes: 0,
             opts,
             parallel,
             threads_per_machine,
@@ -414,12 +459,23 @@ impl Session {
 
         let obs = SessionObs::new(&cfg.obs, &program);
         let layout = AccmLayout::new(&program.symbols.accms);
+        let (vertex_lanes, global_lanes) = if cfg.opts.specialize {
+            (program.vertex_lanes(), program.global_lanes())
+        } else {
+            (
+                vec![itg_compiler::AccmLane::Generic; program.symbols.accms.len()],
+                vec![itg_compiler::AccmLane::Generic; program.symbols.globals.len()],
+            )
+        };
         let owned = 0..cfg.machines;
         let mut sess = Session {
             cfg: cfg.clone(),
             program,
             graph,
             layout,
+            vertex_lanes,
+            global_lanes,
+            window_loads: 0,
             parts,
             globals_history,
             superstep_counts,

@@ -475,6 +475,9 @@ impl ClusterGraph {
             acc.net_bytes += s.net_bytes;
             acc.walks_enumerated += s.walks_enumerated;
             acc.recomputations += s.recomputations;
+            acc.cache_hits += s.cache_hits;
+            acc.cache_misses += s.cache_misses;
+            acc.cache_evictions += s.cache_evictions;
         }
         acc
     }

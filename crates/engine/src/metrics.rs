@@ -96,7 +96,7 @@ impl ParallelMetrics {
 /// hierarchical span/counter/histogram profile of exactly this run:
 ///
 /// ```
-/// use itg_engine::{EngineConfig, GraphInput, Session};
+/// use itg_engine::{EngineConfig, GraphInput, SessionBuilder};
 ///
 /// let mut cfg = EngineConfig::default();
 /// cfg.obs = itg_obs::Recorder::enabled();
@@ -107,7 +107,7 @@ impl ParallelMetrics {
 ///     Traverse (u): { For v in u.nbrs { v.c.Accumulate(1); } }
 ///     Update (u): { }
 /// ";
-/// let mut sess = Session::from_source(src, &g, cfg).unwrap();
+/// let mut sess = SessionBuilder::from_config(cfg).from_source(src, &g).unwrap();
 /// let m = sess.run_oneshot();
 /// let profile = m.profile.expect("recorder enabled");
 /// assert!(profile.span_total_ns("run/traverse") > 0);

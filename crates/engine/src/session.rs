@@ -14,13 +14,13 @@ use crate::transport::{
 use crate::vexec::{execute, VertexCtx};
 use crate::wire::Payload;
 use crate::walker::{HopBinding, WalkSpans, Walker};
-use itg_compiler::{ActionTarget, CompiledProgram, DeltaSubQuery, WalkQuery};
+use itg_compiler::{AccmLane, ActionTarget, CompiledProgram, DeltaSubQuery, WalkQuery};
 use itg_gsa::expr::eval;
 use itg_gsa::value::{ColumnData, Value};
 use itg_gsa::{FxHashMap, FxHashSet, VertexId};
 use itg_lnga::AccmInfo;
 use itg_store::wal::WalEntry;
-use itg_store::{AttrStore, IoSnapshot, MutationBatch, View};
+use itg_store::{AttrStore, IoSnapshot, MutationBatch, View, WindowBase};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -197,6 +197,14 @@ pub struct Session {
     pub program: CompiledProgram,
     pub graph: ClusterGraph,
     pub(crate) layout: AccmLayout,
+    /// Accumulate lane per vertex/global accumulator, selected at
+    /// plan-compile time ([`CompiledProgram::vertex_lanes`]); all
+    /// [`AccmLane::Generic`] when `cfg.opts.specialize` is off.
+    pub(crate) vertex_lanes: Vec<AccmLane>,
+    pub(crate) global_lanes: Vec<AccmLane>,
+    /// Cacheable window loads executed so far; `cache/hit + cache/miss`
+    /// equals this at every cache capacity (the `cache_oracle` invariant).
+    pub(crate) window_loads: u64,
     pub(crate) parts: Vec<PartitionState>,
     /// Global accumulator values: `[snapshot][superstep][global]`.
     pub(crate) globals_history: Vec<Vec<Vec<Value>>>,
@@ -221,12 +229,10 @@ pub struct Session {
 
 impl Session {
     /// Create a session from `L_NGA` source text and an input graph.
-    ///
-    /// **Deprecated in favor of [`crate::SessionBuilder`]** — prefer
-    /// `SessionBuilder::new().machines(n).from_source(src, input)`, which
-    /// names each knob and folds in the environment defaults. This shim
-    /// stays for positional-constructor callers and behaves identically.
-    pub fn from_source(
+    /// Internal — the public construction path is
+    /// [`crate::SessionBuilder::from_source`], which names each knob and
+    /// folds in the environment defaults.
+    pub(crate) fn from_source(
         src: &str,
         input: &GraphInput,
         cfg: EngineConfig,
@@ -239,12 +245,9 @@ impl Session {
     /// [`TransportKind`] decides the topology: `Local` keeps every
     /// partition in this process; `Process` spawns partition worker
     /// processes and turns this session into their coordinator.
-    ///
-    /// **Deprecated in favor of [`crate::SessionBuilder`]** — prefer
-    /// `SessionBuilder::new().machines(n).build(program, input)`. This
-    /// shim stays for positional-constructor callers and behaves
-    /// identically.
-    pub fn new(
+    /// Internal — the public construction path is
+    /// [`crate::SessionBuilder::build`].
+    pub(crate) fn new(
         program: CompiledProgram,
         input: &GraphInput,
         cfg: EngineConfig,
@@ -304,12 +307,23 @@ impl Session {
         );
         let obs = SessionObs::new(&cfg.obs, &program);
         let layout = AccmLayout::new(&program.symbols.accms);
+        let (vertex_lanes, global_lanes) = if cfg.opts.specialize {
+            (program.vertex_lanes(), program.global_lanes())
+        } else {
+            (
+                vec![AccmLane::Generic; program.symbols.accms.len()],
+                vec![AccmLane::Generic; program.symbols.globals.len()],
+            )
+        };
         let attr_types: Vec<_> = program.symbols.attrs.iter().map(|a| a.ty).collect();
         let accm_types = layout.column_types();
         let mut parts = Vec::with_capacity(cfg.machines);
         for w in 0..cfg.machines {
             let n_local = graph.local_vertices(w).count();
             let stats = graph.partitions[w].stats.clone();
+            let mut attr_store =
+                AttrStore::new(attr_types.clone(), n_local, cfg.maintenance, stats.clone());
+            attr_store.set_cache_capacity(cfg.cache_bytes);
             let mut accm_store = AttrStore::new(
                 accm_types.clone(),
                 n_local,
@@ -317,10 +331,11 @@ impl Session {
                 stats.clone(),
             );
             accm_store.set_init(layout.identity_columns(n_local));
+            accm_store.set_cache_capacity(cfg.cache_bytes);
             parts.push(PartitionState {
                 worker: w,
                 n_local,
-                attr_store: AttrStore::new(attr_types.clone(), n_local, cfg.maintenance, stats),
+                attr_store,
                 accm_store,
                 cur_attrs: Vec::new(),
                 prev_attrs: Vec::new(),
@@ -335,6 +350,9 @@ impl Session {
             program,
             graph,
             layout,
+            vertex_lanes,
+            global_lanes,
+            window_loads: 0,
             parts,
             globals_history: Vec::new(),
             superstep_counts: Vec::new(),
@@ -517,6 +535,32 @@ impl Session {
         &self.program.symbols.globals
     }
 
+    /// A fresh contribution buffer with this session's selected lanes.
+    pub(crate) fn new_buffer(&self) -> AccBuffer {
+        AccBuffer::with_lanes(
+            self.global_infos(),
+            &self.vertex_lanes,
+            &self.global_lanes,
+        )
+    }
+
+    /// The accumulate lane selected for each vertex accumulator (plan
+    /// order). All [`AccmLane::Generic`] when specialization is disabled.
+    pub fn vertex_lanes(&self) -> &[AccmLane] {
+        &self.vertex_lanes
+    }
+
+    /// The accumulate lane selected for each global accumulator.
+    pub fn global_lanes(&self) -> &[AccmLane] {
+        &self.global_lanes
+    }
+
+    /// Cacheable window loads executed so far; equals `cache/hit +
+    /// cache/miss` at every `cache_bytes` capacity, including 0.
+    pub fn window_loads(&self) -> u64 {
+        self.window_loads
+    }
+
     pub(crate) fn identity_globals(&self) -> Vec<Value> {
         self.global_infos()
             .iter()
@@ -674,18 +718,24 @@ impl Session {
                 qo.starts.add(actives.len() as u64);
             }
         }
+        // Hop bindings are per query, not per start: build them once.
+        let bindings: Vec<Vec<HopBinding>> = self
+            .program
+            .traverse
+            .queries
+            .iter()
+            .map(|q| vec![HopBinding::View(View::New); q.hops.len()])
+            .collect();
         self.parallel_enumerate(actives, |&v, buffer| {
             let local = self.graph.local_index(v);
             for (qi, q) in self.program.traverse.queries.iter().enumerate() {
-                let bindings = vec![HopBinding::View(View::New); q.hops.len()];
-                let allowed = vec![None; q.hops.len()];
                 self.enumerate_query(
                     w,
                     q,
                     v,
                     1,
-                    &bindings,
-                    &allowed,
+                    &bindings[qi],
+                    &[],
                     &part.cur_attrs,
                     local,
                     View::New,
@@ -729,7 +779,7 @@ impl Session {
         let globals = self.global_infos();
         if items.is_empty() {
             return (
-                AccBuffer::new(accms, globals),
+                self.new_buffer(),
                 PhaseStats {
                     chunks: 0,
                     per_worker_units: vec![0],
@@ -747,7 +797,7 @@ impl Session {
         if threads <= 1 {
             let t0 = timed.then(Instant::now);
             for chunk in &chunks {
-                let mut buf = AccBuffer::new(accms, globals);
+                let mut buf = self.new_buffer();
                 for item in *chunk {
                     run(item, &mut buf);
                 }
@@ -778,7 +828,7 @@ impl Session {
                                     if ci >= chunks.len() {
                                         break;
                                     }
-                                    let mut buf = AccBuffer::new(accms, globals);
+                                    let mut buf = self.new_buffer();
                                     for item in chunks[ci] {
                                         run(item, &mut buf);
                                     }
@@ -862,10 +912,37 @@ impl Session {
             use_intersection: true,
             obs: qobs.map(|o| &o.spans),
         };
+        // Specialized accumulate path (DESIGN.md §10.1): action values that
+        // read only the walk's start vertex — and after incrementalization
+        // attribute reads are position-0-only — are evaluated at most once
+        // per enumeration instead of once per completed walk. The cache is
+        // lazy so a start with no complete walks evaluates nothing, exactly
+        // like the generic path.
+        let hoist = self.cfg.opts.specialize;
+        let mut invariant = 0u64;
+        let mut hoisted: Vec<Option<Value>> = Vec::new();
+        if hoist {
+            hoisted.resize(q.actions.len(), None);
+            for (i, a) in q.actions.iter().enumerate().take(64) {
+                if a.value.max_walk_pos().unwrap_or(0) == 0 {
+                    invariant |= 1 << i;
+                }
+            }
+        }
         let mut contribs = 0u64;
         walker.enumerate(start, start_mult, &mut |ai, walk, mult, ctx| {
             let action = &q.actions[ai];
-            let value = eval(&action.value, ctx).expect("action value evaluation");
+            let owned;
+            let value: &Value = if hoist && ai < 64 && invariant >> ai & 1 == 1 {
+                if hoisted[ai].is_none() {
+                    hoisted[ai] =
+                        Some(eval(&action.value, ctx).expect("action value evaluation"));
+                }
+                hoisted[ai].as_ref().unwrap()
+            } else {
+                owned = eval(&action.value, ctx).expect("action value evaluation");
+                &owned
+            };
             match &action.target {
                 ActionTarget::VertexAccm { pos, accm } => {
                     if let Some((fa, set)) = &target_filter {
@@ -873,14 +950,14 @@ impl Session {
                             return;
                         }
                     }
-                    buffer.add_vertex(*accm, &symbols.accms[*accm], walk[*pos], &value, mult);
+                    buffer.add_vertex(*accm, &symbols.accms[*accm], walk[*pos], value, mult);
                     contribs += 1;
                 }
                 ActionTarget::Global(g) => {
                     if target_filter.is_some() {
                         return;
                     }
-                    buffer.add_global(*g, &symbols.globals[*g], &value, mult);
+                    buffer.add_global(*g, &symbols.globals[*g], value, mult);
                     contribs += 1;
                 }
             }
@@ -916,18 +993,29 @@ impl Session {
         let n_accms = self.layout.num_accms();
         for (w, buf) in buffers {
             // Route this sender's vertex contributions per destination.
+            // Lane cells convert to the generic wire `Contribution` here,
+            // once per target; the drain order of a specialized map equals
+            // the generic map's (key insertion decides hash layout, the
+            // value type does not), so the frames are byte-identical.
+            let AccBuffer { vertex, globals } = buf;
             let mut outgoing: Vec<Vec<Vec<(VertexId, Contribution)>>> =
                 (0..m).map(|_| (0..n_accms).map(|_| Vec::new()).collect()).collect();
-            for (a, map) in buf.vertex.into_iter().enumerate() {
-                for (v, c) in map {
+            for (a, map) in vertex.into_iter().enumerate() {
+                let info = &self.program.symbols.accms[a];
+                map.into_each(info, |v, c| {
                     let owner = self.graph.owner(v);
                     if owner != w {
                         self.graph.partitions[w].stats.add_net(c.wire_bytes());
                     }
                     outgoing[owner][a].push((v, c));
-                }
+                });
             }
-            for c in buf.globals.iter() {
+            let globals: Vec<Contribution> = globals
+                .into_iter()
+                .zip(self.global_infos())
+                .map(|(slot, info)| slot.into_contrib(info))
+                .collect();
+            for c in globals.iter() {
                 if c.count != 0 || !c.retractions.is_empty() {
                     self.graph.partitions[w].stats.add_net(c.wire_bytes());
                 }
@@ -951,7 +1039,7 @@ impl Session {
                     COORD,
                     Payload::GlobalsPartial {
                         from: w as u32,
-                        globals: buf.globals,
+                        globals,
                     },
                 )
                 .expect("exchange globals send");
@@ -1208,9 +1296,11 @@ impl Session {
         let attr_types: Vec<_> = self.program.symbols.attrs.iter().map(|a| a.ty).collect();
         let n_old = self.graph.num_vertices_old();
         for w in self.owned.clone() {
+            self.window_loads += 1;
             let part = &mut self.parts[w];
-            let mut prev = part.attr_store.materialize_init();
-            part.attr_store.load_superstep_before(0, t, &mut prev);
+            let prev = part
+                .attr_store
+                .load_window_before(0, t, WindowBase::Init);
             let mut cur = prev.clone();
             part.changed.clear();
             // New vertices: Initialize them in the current snapshot.
@@ -1260,9 +1350,12 @@ impl Session {
             let adv_span = self.obs.store_advance.clone();
             let adv_g = adv_span.start();
             for w in self.owned.clone() {
+                self.window_loads += 1;
+                let identity = self.layout.identity_columns(self.parts[w].n_local);
                 let part = &mut self.parts[w];
-                let mut prev = self.layout.identity_columns(part.n_local);
-                part.accm_store.load_superstep_before(s, t, &mut prev);
+                let prev =
+                    part.accm_store
+                        .load_window_before(s, t, WindowBase::Rows(&identity));
                 part.cur_accm = prev.clone();
                 part.prev_accm = prev;
             }
@@ -1471,6 +1564,31 @@ impl Session {
                 tasks.push((i, starts));
             }
         }
+        // Hop bindings and pruning-allowed sets are functions of the
+        // sub-query (and the phase's pruning levels), not the start vertex:
+        // build each once per phase, not once per start.
+        let bindings: Vec<Vec<HopBinding>> = self
+            .program
+            .delta_traverse
+            .iter()
+            .map(|sq| self.subquery_bindings(sq))
+            .collect();
+        let allowed: Vec<Vec<Option<&FxHashSet<VertexId>>>> = self
+            .program
+            .delta_traverse
+            .iter()
+            .enumerate()
+            .map(|(i, sq)| {
+                let p = pruning[i].as_ref().filter(|_| self.cfg.opts.neighbor_prune);
+                let Some(p) = p else { return Vec::new() };
+                let k = self.program.traverse.queries[sq.query].hops.len();
+                let mut sets: Vec<Option<&FxHashSet<VertexId>>> = vec![None; k];
+                for (pi, &hop_idx) in sq.pruning_path.iter().enumerate() {
+                    sets[hop_idx] = Some(p.allowed_for_path_hop(pi));
+                }
+                sets
+            })
+            .collect();
         if self.cfg.opts.seek_window_share {
             // Interleave: iterate the union of starts in order, running
             // every relevant sub-query while the start's neighborhood is
@@ -1486,7 +1604,7 @@ impl Session {
             let items: Vec<(VertexId, Vec<usize>)> = by_start.into_iter().collect();
             self.parallel_enumerate(&items, |(v, sqs), buffer| {
                 for &i in sqs {
-                    self.run_subquery(w, i, *v, pruning[i].as_ref(), buffer);
+                    self.run_subquery(w, i, *v, &bindings[i], &allowed[i], buffer);
                 }
             })
         } else {
@@ -1495,8 +1613,30 @@ impl Session {
                 .flat_map(|(i, starts)| starts.into_iter().map(move |v| (i, v)))
                 .collect();
             self.parallel_enumerate(&items, |&(i, v), buffer| {
-                self.run_subquery(w, i, v, pruning[i].as_ref(), buffer);
+                self.run_subquery(w, i, v, &bindings[i], &allowed[i], buffer);
             })
+        }
+    }
+
+    /// The fixed hop-binding pattern of one delta sub-query: all-old views
+    /// for Δvs; new-before / delta-at / old-after around hop `j` for Δes_j.
+    fn subquery_bindings(&self, sq: &DeltaSubQuery) -> Vec<HopBinding> {
+        let k = self.program.traverse.queries[sq.query].hops.len();
+        if sq.delta_stream == 0 {
+            vec![HopBinding::View(View::Old); k]
+        } else {
+            let j = sq.delta_stream - 1;
+            (0..k)
+                .map(|h| {
+                    if h < j {
+                        HopBinding::View(View::New)
+                    } else if h == j {
+                        HopBinding::Delta
+                    } else {
+                        HopBinding::View(View::Old)
+                    }
+                })
+                .collect()
         }
     }
 
@@ -1539,13 +1679,16 @@ impl Session {
         }
     }
 
-    /// Execute one sub-query from one start vertex.
+    /// Execute one sub-query from one start vertex. `bindings` and
+    /// `allowed` are the per-sub-query patterns precomputed by
+    /// [`Self::delta_traverse`] (they do not depend on the start).
     fn run_subquery(
         &self,
         w: usize,
         sq_idx: usize,
         start: VertexId,
-        pruning: Option<&PruningLevels>,
+        bindings: &[HopBinding],
+        allowed: &[Option<&FxHashSet<VertexId>>],
         buffer: &mut AccBuffer,
     ) {
         let sq = &self.program.delta_traverse[sq_idx];
@@ -1553,11 +1696,8 @@ impl Session {
         let part = &self.parts[w];
         let local = self.graph.local_index(start);
         let symbols = &self.program.symbols;
-        let k = q.hops.len();
         if sq.delta_stream == 0 {
             // ω(Δvs, es, …): old edges; both images of the start vertex.
-            let bindings = vec![HopBinding::View(View::Old); k];
-            let allowed = vec![None; k];
             let n_old = self.graph.num_vertices_old();
             let old_ok = (start as usize) < n_old
                 && part.prev_attrs[0].get(local) == Value::Bool(true)
@@ -1581,6 +1721,11 @@ impl Session {
                     .actions
                     .iter()
                     .all(|a| a.value.max_walk_pos().unwrap_or(0) == 0);
+                // Under the specialized accumulate path (DESIGN.md §10.1)
+                // the hoisted values are also *kept*: the per-walk dual
+                // evaluation below collapses to one fused insert of each
+                // changed (old, new) pair; `None` marks an unchanged action.
+                let mut pre: Option<Vec<Option<(Value, Value)>>> = None;
                 if hoistable {
                     let walk = [start];
                     let new_ctx = crate::walker::WalkCtx {
@@ -1597,20 +1742,42 @@ impl Session {
                         deg_view: View::Old,
                         graph: &self.graph,
                     };
-                    let any_changed = q.actions.iter().any(|a| {
-                        eval(&a.value, &new_ctx).expect("action value")
-                            != eval(&a.value, &old_ctx).expect("action value")
-                    });
-                    if !any_changed {
-                        return;
+                    if self.cfg.opts.specialize {
+                        let mut any_changed = false;
+                        let vals: Vec<Option<(Value, Value)>> = q
+                            .actions
+                            .iter()
+                            .map(|a| {
+                                let o = eval(&a.value, &old_ctx).expect("action value");
+                                let n = eval(&a.value, &new_ctx).expect("action value");
+                                if o == n {
+                                    None
+                                } else {
+                                    any_changed = true;
+                                    Some((o, n))
+                                }
+                            })
+                            .collect();
+                        if !any_changed {
+                            return;
+                        }
+                        pre = Some(vals);
+                    } else {
+                        let any_changed = q.actions.iter().any(|a| {
+                            eval(&a.value, &new_ctx).expect("action value")
+                                != eval(&a.value, &old_ctx).expect("action value")
+                        });
+                        if !any_changed {
+                            return;
+                        }
                     }
                 }
                 let walker = Walker {
                     graph: &self.graph,
                     worker: w,
                     query: q,
-                    bindings: &bindings,
-                    allowed: &allowed,
+                    bindings,
+                    allowed,
                     attrs: &part.cur_attrs,
                     local,
                     deg_view: View::New,
@@ -1623,6 +1790,32 @@ impl Session {
                     // Action conds are image-independent here (gated by
                     // `hops_are_image_independent`), so firing under the
                     // new image implies firing under the old one.
+                    if let Some(pre) = &pre {
+                        // Specialized dual emit: the precomputed pair, one
+                        // map lookup for both inserts.
+                        let Some((old_val, new_val)) = &pre[ai] else {
+                            return; // value unchanged: contributions cancel
+                        };
+                        match &action.target {
+                            ActionTarget::VertexAccm { pos, accm } => {
+                                buffer.add_vertex_pair(
+                                    *accm,
+                                    &symbols.accms[*accm],
+                                    walk[*pos],
+                                    old_val,
+                                    new_val,
+                                    mult,
+                                );
+                            }
+                            ActionTarget::Global(g) => {
+                                let info = &symbols.globals[*g];
+                                buffer.add_global(*g, info, old_val, -mult);
+                                buffer.add_global(*g, info, new_val, mult);
+                            }
+                        }
+                        contribs += 2;
+                        return;
+                    }
                     let old_ctx = crate::walker::WalkCtx {
                         walk,
                         attrs: &part.prev_attrs,
@@ -1654,42 +1847,21 @@ impl Session {
             }
             if old_ok {
                 self.enumerate_query(
-                    w, q, start, -1, &bindings, &allowed, &part.prev_attrs, local,
+                    w, q, start, -1, bindings, allowed, &part.prev_attrs, local,
                     View::Old, symbols, buffer, None,
                     Some(&self.obs.delta[sq_idx]),
                 );
             }
             if new_ok {
                 self.enumerate_query(
-                    w, q, start, 1, &bindings, &allowed, &part.cur_attrs, local,
+                    w, q, start, 1, bindings, allowed, &part.cur_attrs, local,
                     View::New, symbols, buffer, None,
                     Some(&self.obs.delta[sq_idx]),
                 );
             }
         } else {
-            let j = sq.delta_stream - 1; // delta hop index
-            let bindings: Vec<HopBinding> = (0..k)
-                .map(|h| {
-                    if h < j {
-                        HopBinding::View(View::New)
-                    } else if h == j {
-                        HopBinding::Delta
-                    } else {
-                        HopBinding::View(View::Old)
-                    }
-                })
-                .collect();
-            // Neighbor pruning: allowed sets along the pruning path.
-            let mut allowed: Vec<Option<&FxHashSet<VertexId>>> = vec![None; k];
-            if self.cfg.opts.neighbor_prune {
-                if let Some(p) = pruning {
-                    for (pi, &hop_idx) in sq.pruning_path.iter().enumerate() {
-                        allowed[hop_idx] = Some(p.allowed_for_path_hop(pi));
-                    }
-                }
-            }
             self.enumerate_query(
-                w, q, start, 1, &bindings, &allowed, &part.cur_attrs, local, View::New,
+                w, q, start, 1, bindings, allowed, &part.cur_attrs, local, View::New,
                 symbols, buffer, None,
                 Some(&self.obs.delta[sq_idx]),
             );
@@ -1720,7 +1892,7 @@ impl Session {
         }
         // Candidate starts per accumulator.
         let mut buffers: Vec<AccBuffer> = (0..self.cfg.machines)
-            .map(|_| AccBuffer::new(&self.program.symbols.accms, self.global_infos()))
+            .map(|_| self.new_buffer())
             .collect();
         for (a, v_aff) in recompute.iter().enumerate() {
             if v_aff.is_empty() {
@@ -1748,10 +1920,7 @@ impl Session {
                         }
                         let bindings = vec![HopBinding::View(View::New); q.hops.len()];
                         let allowed = vec![None; q.hops.len()];
-                        let mut buf = std::mem::replace(
-                            &mut buffers[w],
-                            AccBuffer::new(&self.program.symbols.accms, self.global_infos()),
-                        );
+                        let mut buf = std::mem::replace(&mut buffers[w], self.new_buffer());
                         self.enumerate_query(
                             w,
                             q,

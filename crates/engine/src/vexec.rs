@@ -98,18 +98,20 @@ impl EvalContext for VertexCtx<'_> {
 
 /// Run a vertex program; staged attribute writes stay in `ctx`, global
 /// accumulations are reported through `on_global(global_idx, value)`.
-pub fn execute(
+/// Generic over the callback so per-lane global accumulation inlines
+/// rather than dispatching through a `dyn FnMut` per statement.
+pub fn execute<F: FnMut(usize, &Value)>(
     program: &VertexProgram,
     ctx: &VertexCtx<'_>,
-    on_global: &mut dyn FnMut(usize, &Value),
+    on_global: &mut F,
 ) {
     execute_stmts(&program.stmts, ctx, on_global);
 }
 
-fn execute_stmts(
+fn execute_stmts<F: FnMut(usize, &Value)>(
     stmts: &[VStmt],
     ctx: &VertexCtx<'_>,
-    on_global: &mut dyn FnMut(usize, &Value),
+    on_global: &mut F,
 ) {
     for s in stmts {
         match s {

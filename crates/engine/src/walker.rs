@@ -21,7 +21,12 @@ use itg_store::View;
 
 /// Sink fired once per (action, complete walk):
 /// `(action_idx, walk, multiplicity, ctx)`.
-pub type WalkSink<'s> = dyn FnMut(usize, &[VertexId], i64, &WalkCtx<'_>) + 's;
+///
+/// The enumerator is generic over the sink so the per-accumulator
+/// specialized accumulate lanes (DESIGN.md §10.1) inline into the DFS
+/// instead of dispatching through a `dyn FnMut` at every complete walk.
+pub trait WalkSink: FnMut(usize, &[VertexId], i64, &WalkCtx<'_>) {}
+impl<F: FnMut(usize, &[VertexId], i64, &WalkCtx<'_>)> WalkSink for F {}
 
 /// How one hop's edge stream is bound (Rule ⑦).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,6 +110,20 @@ impl EvalContext for WalkCtx<'_> {
     }
 }
 
+/// Reusable per-thread enumeration buffers: the walk stack plus one
+/// destination list per hop depth. Pulled out of the DFS so enumerating
+/// from a start vertex costs zero allocations once the thread's pool is
+/// warm — the per-start `Vec` churn otherwise dominates short Δ-walks.
+#[derive(Default)]
+struct WalkScratch {
+    walk: Vec<VertexId>,
+    levels: Vec<Vec<(VertexId, i64)>>,
+}
+
+thread_local! {
+    static SCRATCH: std::cell::Cell<WalkScratch> = std::cell::Cell::new(WalkScratch::default());
+}
+
 /// One enumeration task: a start vertex with its image context.
 pub struct Walker<'a> {
     pub graph: &'a ClusterGraph,
@@ -130,16 +149,22 @@ impl Walker<'_> {
     /// Enumerate all walks from `start` (multiplicity `start_mult`),
     /// calling `sink(action_idx, walk, mult, ctx)` once per action per
     /// complete walk.
-    pub fn enumerate(
-        &self,
-        start: VertexId,
-        start_mult: i64,
-        sink: &mut WalkSink<'_>,
-    ) {
+    pub fn enumerate<F: WalkSink>(&self, start: VertexId, start_mult: i64, sink: &mut F) {
         debug_assert_eq!(self.bindings.len(), self.query.hops.len());
-        let mut walk = Vec::with_capacity(self.query.hops.len() + 1);
-        walk.push(start);
-        self.recurse(&mut walk, start_mult, 0, sink);
+        // Taking (rather than borrowing) the thread's scratch keeps a
+        // re-entrant enumeration safe: an inner call just starts cold.
+        let mut scratch = SCRATCH.with(|c| c.take());
+        let hops = self.query.hops.len();
+        if scratch.levels.len() < hops {
+            scratch.levels.resize_with(hops, Vec::new);
+        }
+        scratch.walk.clear();
+        scratch.walk.push(start);
+        {
+            let WalkScratch { walk, levels } = &mut scratch;
+            self.recurse(walk, start_mult, 0, levels, sink);
+        }
+        SCRATCH.with(|c| c.set(scratch));
     }
 
     fn ctx<'w>(&self, walk: &'w [VertexId]) -> WalkCtx<'w>
@@ -167,12 +192,13 @@ impl Walker<'_> {
         }
     }
 
-    fn recurse(
+    fn recurse<F: WalkSink>(
         &self,
         walk: &mut Vec<VertexId>,
         mult: i64,
         hop: usize,
-        sink: &mut WalkSink<'_>,
+        levels: &mut [Vec<(VertexId, i64)>],
+        sink: &mut F,
     ) {
         let hops = &self.query.hops;
         if hop == hops.len() {
@@ -220,16 +246,17 @@ impl Walker<'_> {
                 };
                 drop(join_guard);
                 if em != 0 {
-                    self.recurse(walk, mult * em, hop + 1, sink);
+                    self.recurse(walk, mult * em, hop + 1, levels, sink);
                 }
                 walk.pop();
                 return;
             }
         }
 
+        let (dsts, rest) = levels.split_first_mut().expect("scratch sized to hop count");
+        dsts.clear();
         let allowed = self.allowed.get(hop).copied().flatten();
         let seek_guard = self.obs.map(|o| o.seek.start());
-        let mut dsts: Vec<(VertexId, i64)> = Vec::new();
         match self.bindings[hop] {
             HopBinding::View(view) => {
                 // W-Seek through the buffer pool; the window capacity is
@@ -252,16 +279,17 @@ impl Walker<'_> {
             }
         }
         drop(seek_guard);
-        self.extend_all(walk, mult, hop, &dsts, sink);
+        self.extend_all(walk, mult, hop, dsts, rest, sink);
     }
 
-    fn extend_all(
+    fn extend_all<F: WalkSink>(
         &self,
         walk: &mut Vec<VertexId>,
         mult: i64,
         hop: usize,
         dsts: &[(VertexId, i64)],
-        sink: &mut WalkSink<'_>,
+        levels: &mut [Vec<(VertexId, i64)>],
+        sink: &mut F,
     ) {
         let constraint = &self.query.hops[hop].constraint;
         // Work accounting: every attempted extension is one enumeration
@@ -282,7 +310,7 @@ impl Walker<'_> {
                 join_ns += t0.elapsed().as_nanos() as u64;
             }
             if ok {
-                self.recurse(walk, mult * em, hop + 1, sink);
+                self.recurse(walk, mult * em, hop + 1, levels, sink);
             }
             walk.pop();
         }

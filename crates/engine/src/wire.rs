@@ -36,7 +36,7 @@ use std::io::{Read, Write};
 /// Wire magic: the first two payload bytes of every frame.
 pub const WIRE_MAGIC: u16 = 0xA17B;
 /// Wire format version; bumped on any layout change.
-pub const WIRE_VERSION: u8 = 1;
+pub const WIRE_VERSION: u8 = 2;
 /// Frame destination: the coordinator endpoint.
 pub const DST_COORD: u16 = 0xFFFF;
 /// Frame destination: the receiving worker process itself (control plane).
@@ -430,6 +430,9 @@ fn put_io(w: &mut Writer, io: &IoSnapshot) {
     w.u64(io.net_bytes);
     w.u64(io.walks_enumerated);
     w.u64(io.recomputations);
+    w.u64(io.cache_hits);
+    w.u64(io.cache_misses);
+    w.u64(io.cache_evictions);
 }
 
 fn get_io(r: &mut Reader<'_>) -> WireResult<IoSnapshot> {
@@ -441,6 +444,9 @@ fn get_io(r: &mut Reader<'_>) -> WireResult<IoSnapshot> {
         net_bytes: r.u64()?,
         walks_enumerated: r.u64()?,
         recomputations: r.u64()?,
+        cache_hits: r.u64()?,
+        cache_misses: r.u64()?,
+        cache_evictions: r.u64()?,
     })
 }
 
@@ -504,10 +510,13 @@ pub struct WireConfig {
     pub page_size: u64,
     pub max_supersteps: u64,
     pub maintenance: MaintenancePolicy,
-    /// `[traversal_reorder, neighbor_prune, seek_window_share, min_count]`.
-    pub opts: [bool; 4],
+    /// `[traversal_reorder, neighbor_prune, seek_window_share, min_count,
+    /// specialize]`.
+    pub opts: [bool; 5],
     pub parallel: bool,
     pub threads_per_machine: u64,
+    /// NGW segment cache capacity per attribute store (0 = off).
+    pub cache_bytes: u64,
 }
 
 /// Per-run scalar results shipped back by a worker in
@@ -684,6 +693,7 @@ pub fn encode_payload(p: &Payload) -> Vec<u8> {
             }
             w.bool(cfg.parallel);
             w.u64(cfg.threads_per_machine);
+            w.u64(cfg.cache_bytes);
         }
         Payload::Hello { rank } => w.u32(*rank),
         Payload::RunOneshot
@@ -808,9 +818,10 @@ pub fn decode_payload(bytes: &[u8]) -> WireResult<Payload> {
                 page_size: r.u64()?,
                 max_supersteps: r.u64()?,
                 maintenance: get_maintenance(&mut r)?,
-                opts: [r.bool()?, r.bool()?, r.bool()?, r.bool()?],
+                opts: [r.bool()?, r.bool()?, r.bool()?, r.bool()?, r.bool()?],
                 parallel: r.bool()?,
                 threads_per_machine: r.u64()?,
+                cache_bytes: r.u64()?,
             };
             Payload::Bootstrap {
                 rank,
@@ -1056,9 +1067,10 @@ mod tests {
                 page_size: 4096,
                 max_supersteps: u64::MAX,
                 maintenance: MaintenancePolicy::Periodic(6),
-                opts: [true, false, true, true],
+                opts: [true, false, true, true, true],
                 parallel: true,
                 threads_per_machine: 4,
+                cache_bytes: 1 << 16,
             },
         });
     }

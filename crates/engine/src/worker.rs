@@ -68,8 +68,10 @@ pub fn worker_main() -> Result<(), TransportError> {
     cfg.opts.neighbor_prune = wire_cfg.opts[1];
     cfg.opts.seek_window_share = wire_cfg.opts[2];
     cfg.opts.min_count = wire_cfg.opts[3];
+    cfg.opts.specialize = wire_cfg.opts[4];
     cfg.parallel = wire_cfg.parallel;
     cfg.threads_per_machine = wire_cfg.threads_per_machine as usize;
+    cfg.cache_bytes = wire_cfg.cache_bytes;
 
     let program = itg_compiler::compile_source(&source)
         .map_err(|e| TransportError::Protocol(format!("bootstrap program rejected: {e}")))?;

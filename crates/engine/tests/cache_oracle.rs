@@ -1,0 +1,132 @@
+//! Property-based oracle for the NGW segment cache: the cache is a pure
+//! read-path optimization, so for a random program, cluster shape, and
+//! mutation history, running the same session at capacity 0 (cache off),
+//! a deliberately tiny capacity (constant admission pressure and
+//! evictions), and unbounded capacity must produce byte-identical state
+//! images — and the `cache/hit + cache/miss` counters must account for
+//! exactly the cacheable window loads the session performed.
+
+mod common;
+
+use common::{build_workload, mk_config, mk_input, MutationMode, Scenario, ALGOS};
+use itg_algorithms::programs;
+use itg_engine::SessionBuilder;
+use itg_store::IoSnapshot;
+use proptest::prelude::*;
+
+/// A capacity that admits roughly one hot segment of the N=32 test
+/// stores (a single f64 column is 256 bytes), forcing eviction churn.
+const ONE_SEGMENT: u64 = 300;
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        0usize..ALGOS.len(),
+        1usize..4,
+        0usize..2,
+        any::<u64>(),
+        1usize..4,
+        4usize..12,
+        any::<bool>(),
+    )
+        .prop_map(|(a, machines, t, seed, batches, batch_size, hot)| Scenario {
+            algo: ALGOS[a],
+            machines,
+            threads: [1usize, 2][t],
+            seed,
+            batches,
+            batch_size,
+            mutation_mode: if hot {
+                MutationMode::HotVertex
+            } else {
+                MutationMode::Uniform
+            },
+        })
+}
+
+/// Run the scenario's full history at one cache capacity; return the
+/// final state image, the summed IO deltas, and the window-load count.
+fn run_at_capacity(
+    sc: &Scenario,
+    base: &[(u64, u64)],
+    batches: &[itg_store::MutationBatch],
+    capacity: u64,
+) -> (Vec<u8>, IoSnapshot, u64) {
+    let src = programs::source(sc.algo).unwrap();
+    let mut sess = SessionBuilder::from_config(mk_config(sc.algo, sc.machines, sc.threads))
+        .cache_bytes(capacity)
+        .from_source(&src, &mk_input(sc.algo, base))
+        .unwrap();
+    let mut io = IoSnapshot::default();
+    let add = |m: &itg_engine::RunMetrics, io: &mut IoSnapshot| {
+        io.cache_hits += m.io.cache_hits;
+        io.cache_misses += m.io.cache_misses;
+        io.cache_evictions += m.io.cache_evictions;
+    };
+    let m = sess.run_oneshot();
+    add(&m, &mut io);
+    for batch in batches {
+        sess.apply_mutations(batch);
+        let m = sess.run_incremental();
+        add(&m, &mut io);
+    }
+    (sess.state_image(), io, sess.window_loads())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn cache_capacity_never_changes_results(sc in scenario()) {
+        let (base, batches) = build_workload(&sc);
+
+        let (off_image, off_io, off_loads) =
+            run_at_capacity(&sc, &base, &batches, 0);
+        let (tiny_image, tiny_io, tiny_loads) =
+            run_at_capacity(&sc, &base, &batches, ONE_SEGMENT);
+        let (full_image, full_io, full_loads) =
+            run_at_capacity(&sc, &base, &batches, u64::MAX);
+
+        // The cache is invisible in every byte of session state.
+        prop_assert!(
+            off_image == tiny_image,
+            "one-segment cache changed the state image (scenario {:?})", sc
+        );
+        prop_assert!(
+            off_image == full_image,
+            "unbounded cache changed the state image (scenario {:?})", sc
+        );
+
+        // Counter accounting: every cacheable window load is exactly one
+        // hit or one miss, at every capacity.
+        prop_assert_eq!(off_loads, tiny_loads);
+        prop_assert_eq!(off_loads, full_loads);
+        for (name, io, loads) in [
+            ("off", &off_io, off_loads),
+            ("tiny", &tiny_io, tiny_loads),
+            ("full", &full_io, full_loads),
+        ] {
+            prop_assert_eq!(
+                io.cache_hits + io.cache_misses,
+                loads,
+                "{}: hit + miss must equal window loads (scenario {:?})",
+                name, &sc
+            );
+        }
+
+        // Capacity 0 is off: everything misses, nothing is evicted.
+        prop_assert_eq!(off_io.cache_hits, 0);
+        prop_assert_eq!(off_io.cache_evictions, 0);
+
+        // Unbounded capacity never evicts, and with at least two
+        // incremental batches the second one re-reads windows the first
+        // pinned.
+        prop_assert_eq!(full_io.cache_evictions, 0);
+        if sc.batches >= 2 {
+            prop_assert!(
+                full_io.cache_hits > 0,
+                "unbounded cache saw no hits over {} batches (scenario {:?})",
+                sc.batches, &sc
+            );
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //! path, network accounting, vertex growth, and composite (Array)
 //! attribute support.
 
-use itg_engine::{EngineConfig, GraphInput, Session};
+use itg_engine::{EngineConfig, GraphInput, SessionBuilder};
 use itg_gsa::Value;
 use itg_store::{EdgeMutation, MutationBatch};
 
@@ -27,7 +27,7 @@ fn preaggregation_bounds_network_volume() {
     "#;
     let machines = 4;
     let input = GraphInput::directed(edges);
-    let mut s = Session::from_source(src, &input, EngineConfig::with_machines(machines)).unwrap();
+    let mut s = SessionBuilder::from_config(EngineConfig::with_machines(machines)).from_source(src, &input).unwrap();
     let m = s.run_oneshot();
     assert_eq!(s.attr_value(hub, "x").unwrap(), Value::Long(leaves as i64));
     // Upper bound: per superstep, at most (machines − 1) remote folded
@@ -56,7 +56,7 @@ fn remote_seeks_are_charged() {
         Update (u): { }
     "#;
     let input = GraphInput::directed(edges);
-    let mut s = Session::from_source(src, &input, EngineConfig::with_machines(2)).unwrap();
+    let mut s = SessionBuilder::from_config(EngineConfig::with_machines(2)).from_source(src, &input).unwrap();
     let m = s.run_oneshot();
     assert!(m.io.net_bytes > 0, "cross-partition traversal must hit the network");
 }
@@ -77,7 +77,7 @@ fn array_attributes_flow_through_the_engine() {
         Update (u): { u.score = u.s; }
     "#;
     let input = GraphInput::undirected(vec![(0, 1), (1, 2)]);
-    let mut s = Session::from_source(src, &input, EngineConfig::default()).unwrap();
+    let mut s = SessionBuilder::from_config(EngineConfig::default()).from_source(src, &input).unwrap();
     s.run_oneshot();
     // Embeddings default to zero-filled arrays, so scores are 0 — but the
     // Array read path (AttrElem) ran for every walk.
@@ -100,7 +100,7 @@ fn vertex_growth_mid_stream() {
         Update (u): { If (u.m < u.comp) { u.comp = u.m; u.active = true; } }
     "#;
     let input = GraphInput::undirected(vec![(0, 1)]);
-    let mut s = Session::from_source(src, &input, EngineConfig::with_machines(2)).unwrap();
+    let mut s = SessionBuilder::from_config(EngineConfig::with_machines(2)).from_source(src, &input).unwrap();
     s.run_oneshot();
     // Vertex 5 does not exist yet.
     s.apply_mutations(&MutationBatch::new(vec![
@@ -115,11 +115,7 @@ fn vertex_growth_mid_stream() {
 #[test]
 fn edge_compaction_between_snapshots_is_transparent() {
     let input = GraphInput::undirected(vec![(0, 1), (1, 2), (0, 2), (2, 3)]);
-    let mut s = Session::from_source(
-        itg_algorithms::programs::TRIANGLE_COUNT,
-        &input,
-        EngineConfig::with_machines(2),
-    )
+    let mut s = SessionBuilder::from_config(EngineConfig::with_machines(2)).from_source(itg_algorithms::programs::TRIANGLE_COUNT, &input)
     .unwrap();
     s.run_oneshot();
     // Several snapshots build up a delta-segment chain.
@@ -168,7 +164,7 @@ fn unsupported_fragment_is_a_clean_error_at_session_creation() {
         Update (u): { }
     "#;
     let input = GraphInput::undirected(vec![(0, 1), (1, 2)]);
-    let err = match Session::from_source(src, &input, EngineConfig::default()) {
+    let err = match SessionBuilder::from_config(EngineConfig::default()).from_source(src, &input) {
         Err(e) => e,
         Ok(_) => panic!("deep-attr program should be rejected"),
     };
@@ -178,11 +174,7 @@ fn unsupported_fragment_is_a_clean_error_at_session_creation() {
 #[test]
 fn protocol_misuse_is_a_clean_error() {
     let input = GraphInput::undirected(vec![(0, 1), (1, 2), (0, 2)]);
-    let mut s = Session::from_source(
-        itg_algorithms::programs::TRIANGLE_COUNT,
-        &input,
-        EngineConfig::default(),
-    )
+    let mut s = SessionBuilder::from_config(EngineConfig::default()).from_source(itg_algorithms::programs::TRIANGLE_COUNT, &input)
     .unwrap();
     // Incremental before one-shot.
     assert!(s.try_run_incremental().is_err());
@@ -198,11 +190,7 @@ fn protocol_misuse_is_a_clean_error() {
 #[test]
 fn empty_batch_is_a_noop() {
     let input = GraphInput::undirected(vec![(0, 1), (1, 2), (0, 2)]);
-    let mut s = Session::from_source(
-        itg_algorithms::programs::TRIANGLE_COUNT,
-        &input,
-        EngineConfig::default(),
-    )
+    let mut s = SessionBuilder::from_config(EngineConfig::default()).from_source(itg_algorithms::programs::TRIANGLE_COUNT, &input)
     .unwrap();
     s.run_oneshot();
     s.apply_mutations(&MutationBatch::new(vec![]));
@@ -219,11 +207,7 @@ fn repeated_batches_between_runs_are_rejected_gracefully() {
     // run_incremental consumes exactly the latest batch, so callers must
     // alternate apply/run. This test pins the supported pattern.)
     let input = GraphInput::undirected(vec![(0, 1), (1, 2), (0, 2)]);
-    let mut s = Session::from_source(
-        itg_algorithms::programs::TRIANGLE_COUNT,
-        &input,
-        EngineConfig::default(),
-    )
+    let mut s = SessionBuilder::from_config(EngineConfig::default()).from_source(itg_algorithms::programs::TRIANGLE_COUNT, &input)
     .unwrap();
     s.run_oneshot();
     for (a, b) in [(2u64, 3u64), (3, 0)] {

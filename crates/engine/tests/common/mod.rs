@@ -16,6 +16,22 @@ use rand::{Rng, SeedableRng};
 pub const N: usize = 32;
 pub const ALGOS: [&str; 6] = ["pr", "lp", "wcc", "bfs", "tc", "lcc"];
 
+/// How mutation endpoints are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MutationMode {
+    /// Endpoints uniform over `0..N`.
+    #[default]
+    Uniform,
+    /// Skewed: ~70% of endpoints land on a small hot set
+    /// ([`HOT_VERTICES`]), so successive batches keep touching the same
+    /// vertices — the delta-chain shape the NGW segment cache exploits
+    /// (repeated window reloads of the same hot segments).
+    HotVertex,
+}
+
+/// The hot set for [`MutationMode::HotVertex`].
+pub const HOT_VERTICES: u64 = 4;
+
 #[derive(Debug, Clone)]
 pub struct Scenario {
     pub algo: &'static str,
@@ -24,6 +40,7 @@ pub struct Scenario {
     pub seed: u64,
     pub batches: usize,
     pub batch_size: usize,
+    pub mutation_mode: MutationMode,
 }
 
 /// Base graph plus batches. Deleted edges go into a `dead` pool that later
@@ -34,9 +51,19 @@ pub fn build_workload(sc: &Scenario) -> (Vec<(VertexId, VertexId)>, Vec<Mutation
     let want = 60 + sc.batches * sc.batch_size;
     let mut universe: Vec<(VertexId, VertexId)> = Vec::new();
     let mut seen = std::collections::HashSet::new();
+    let endpoint = |rng: &mut SmallRng| match sc.mutation_mode {
+        MutationMode::Uniform => rng.gen_range(0..N as u64),
+        MutationMode::HotVertex => {
+            if rng.gen_range(0..10u32) < 7 {
+                rng.gen_range(0..HOT_VERTICES)
+            } else {
+                rng.gen_range(0..N as u64)
+            }
+        }
+    };
     while universe.len() < want {
-        let a = rng.gen_range(0..N as u64);
-        let b = rng.gen_range(0..N as u64);
+        let a = endpoint(&mut rng);
+        let b = endpoint(&mut rng);
         if a != b && seen.insert((a.min(b), a.max(b))) {
             universe.push((a.min(b), a.max(b)));
         }

@@ -6,7 +6,7 @@
 
 use itg_algorithms::native::{self, SimpleGraph};
 use itg_algorithms::programs;
-use itg_engine::{EngineConfig, GraphInput, Session};
+use itg_engine::{EngineConfig, GraphInput, SessionBuilder};
 use itg_gsa::{Value, VertexId};
 use itg_store::{EdgeMutation, MutationBatch};
 use rand::rngs::SmallRng;
@@ -41,7 +41,7 @@ fn cfg(machines: usize) -> EngineConfig {
 #[test]
 fn paper_example_tc_one_shot_and_incremental() {
     let input = GraphInput::undirected(paper_edges());
-    let mut s = Session::from_source(programs::TRIANGLE_COUNT, &input, cfg(2)).unwrap();
+    let mut s = SessionBuilder::from_config(cfg(2)).from_source(programs::TRIANGLE_COUNT, &input).unwrap();
     let one = s.run_oneshot();
     assert_eq!(s.global_value("cnts", None).unwrap(), Value::Long(1));
     assert_eq!(one.supersteps, 1);
@@ -64,7 +64,7 @@ fn paper_example_tc_one_shot_and_incremental() {
 #[test]
 fn wcc_incremental_merges_components() {
     let input = GraphInput::undirected(paper_edges());
-    let mut s = Session::from_source(programs::WCC, &input, cfg(3)).unwrap();
+    let mut s = SessionBuilder::from_config(cfg(3)).from_source(programs::WCC, &input).unwrap();
     s.run_oneshot();
     let comp = longs(s.attr_column("comp").unwrap());
     let reference = native::wcc(&SimpleGraph::undirected(8, &paper_edges()));
@@ -82,7 +82,7 @@ fn wcc_incremental_deletion_splits_component() {
     // Chain 0-1-2-3; deleting (1,2) splits into {0,1} and {2,3}. The Min
     // accumulator is a monoid: this exercises the recompute path.
     let input = GraphInput::undirected(vec![(0, 1), (1, 2), (2, 3)]);
-    let mut s = Session::from_source(programs::WCC, &input, cfg(2)).unwrap();
+    let mut s = SessionBuilder::from_config(cfg(2)).from_source(programs::WCC, &input).unwrap();
     s.run_oneshot();
     assert_eq!(longs(s.attr_column("comp").unwrap()), vec![0, 0, 0, 0]);
 
@@ -169,7 +169,7 @@ fn check_algorithm(name: &str, machines: usize, seed: u64) {
     config.max_supersteps = max_ss;
 
     // Incremental path.
-    let mut sess = Session::from_source(&src, &mk_input(&base), config.clone()).unwrap();
+    let mut sess = SessionBuilder::from_config(config.clone()).from_source(&src, &mk_input(&base)).unwrap();
     sess.run_oneshot();
     let mut edges = base.clone();
     for batch in &batches {
@@ -179,7 +179,7 @@ fn check_algorithm(name: &str, machines: usize, seed: u64) {
     }
 
     // Fresh one-shot on the final graph.
-    let mut fresh = Session::from_source(&src, &mk_input(&edges), config).unwrap();
+    let mut fresh = SessionBuilder::from_config(config).from_source(&src, &mk_input(&edges)).unwrap();
     fresh.run_oneshot();
 
     // Compare all user-visible state.
@@ -261,21 +261,21 @@ fn oneshot_matches_native_references() {
     let mut input = GraphInput::undirected(base.clone());
     input.num_vertices = 24;
 
-    let mut s = Session::from_source(programs::WCC, &input, cfg(2)).unwrap();
+    let mut s = SessionBuilder::from_config(cfg(2)).from_source(programs::WCC, &input).unwrap();
     s.run_oneshot();
     assert_eq!(longs(s.attr_column("comp").unwrap()), native::wcc(&g));
 
-    let mut s = Session::from_source(&programs::bfs(0), &input, cfg(2)).unwrap();
+    let mut s = SessionBuilder::from_config(cfg(2)).from_source(&programs::bfs(0), &input).unwrap();
     s.run_oneshot();
     assert_eq!(longs(s.attr_column("dist").unwrap()), native::bfs(&g, 0));
 
-    let mut s = Session::from_source(programs::LCC, &input, cfg(2)).unwrap();
+    let mut s = SessionBuilder::from_config(cfg(2)).from_source(programs::LCC, &input).unwrap();
     s.run_oneshot();
     assert_eq!(longs(s.attr_column("lcc").unwrap()), native::lcc(&g));
 
     let mut c = cfg(2);
     c.max_supersteps = 10;
-    let mut s = Session::from_source(programs::LABEL_PROP, &input, c).unwrap();
+    let mut s = SessionBuilder::from_config(c).from_source(programs::LABEL_PROP, &input).unwrap();
     s.run_oneshot();
     assert_eq!(
         longs(s.attr_column("label").unwrap()),
@@ -289,7 +289,7 @@ fn oneshot_matches_native_references() {
     input_d.num_vertices = 24;
     let mut c = cfg(2);
     c.max_supersteps = 10;
-    let mut s = Session::from_source(programs::PAGERANK, &input_d, c).unwrap();
+    let mut s = SessionBuilder::from_config(c).from_source(programs::PAGERANK, &input_d).unwrap();
     s.run_oneshot();
     assert_eq!(
         longs(s.attr_column("rank").unwrap()),
@@ -319,7 +319,7 @@ fn optimizations_do_not_change_results() {
         config.opts = opts;
         let mut input = GraphInput::undirected(base.clone());
         input.num_vertices = 20;
-        let mut s = Session::from_source(programs::TRIANGLE_COUNT, &input, config).unwrap();
+        let mut s = SessionBuilder::from_config(config).from_source(programs::TRIANGLE_COUNT, &input).unwrap();
         s.run_oneshot();
         for b in &batches {
             s.apply_mutations(b);
@@ -341,7 +341,7 @@ fn parallel_execution_matches_sequential() {
         config.parallel = parallel;
         let mut input = GraphInput::undirected(base.clone());
         input.num_vertices = 30;
-        let mut s = Session::from_source(programs::WCC, &input, config).unwrap();
+        let mut s = SessionBuilder::from_config(config).from_source(programs::WCC, &input).unwrap();
         s.run_oneshot();
         for b in &batches {
             s.apply_mutations(b);
@@ -359,7 +359,7 @@ fn reach2_oneshot_and_incremental_match_reference() {
     let (base, batches) = random_workload(71, 18, 30, 3, 5);
     let mut input = GraphInput::undirected(base.clone());
     input.num_vertices = 18;
-    let mut s = Session::from_source(programs::REACH2, &input, cfg(2)).unwrap();
+    let mut s = SessionBuilder::from_config(cfg(2)).from_source(programs::REACH2, &input).unwrap();
     s.run_oneshot();
     let g = SimpleGraph::undirected(18, &base);
     assert_eq!(longs(s.attr_column("reach").unwrap()), native::reach2(&g));

@@ -30,6 +30,7 @@ fn scenario(algo: &'static str) -> Scenario {
         seed: 0xD00D_F00D,
         batches: 4,
         batch_size: 8,
+        mutation_mode: common::MutationMode::Uniform,
     }
 }
 

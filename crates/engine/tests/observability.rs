@@ -2,7 +2,7 @@
 //! span-vs-wall coverage, and the Δ-stream cardinality claims of the paper
 //! (incremental batches touch far fewer tuples than one-shot reruns).
 
-use itg_engine::{EngineConfig, GraphInput, Session};
+use itg_engine::{EngineConfig, GraphInput, Session, SessionBuilder};
 use itg_graphgen::{generate, RmatConfig};
 use itg_store::{EdgeMutation, MutationBatch};
 
@@ -11,7 +11,7 @@ fn pr_session(cfg: EngineConfig) -> (Session, Vec<(u64, u64)>) {
     let input = GraphInput::directed(edges.clone());
     let mut cfg = cfg;
     cfg.max_supersteps = 5;
-    let sess = Session::from_source(itg_algorithms::programs::PAGERANK, &input, cfg).unwrap();
+    let sess = SessionBuilder::from_config(cfg).from_source(itg_algorithms::programs::PAGERANK, &input).unwrap();
     (sess, edges)
 }
 
@@ -124,7 +124,7 @@ fn delta_stream_counters_shrink_vs_oneshot() {
         obs: itg_obs::Recorder::enabled(),
         ..EngineConfig::default()
     };
-    let mut sess = Session::from_source(itg_algorithms::programs::WCC, &input, cfg).unwrap();
+    let mut sess = SessionBuilder::from_config(cfg).from_source(itg_algorithms::programs::WCC, &input).unwrap();
     let one = sess.run_oneshot();
     let p_one = one.profile.expect("profile");
     let oneshot_contribs = p_one.counter_total("oneshot/contribs");

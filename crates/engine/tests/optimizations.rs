@@ -3,7 +3,7 @@
 //! deliver the work/IO reductions the paper attributes to them.
 
 use itg_algorithms::programs;
-use itg_engine::{EngineConfig, GraphInput, OptFlags, Session};
+use itg_engine::{EngineConfig, GraphInput, OptFlags, SessionBuilder};
 use itg_graphgen::{canonical_undirected, generate_undirected, RmatConfig};
 use itg_store::{EdgeMutation, MutationBatch};
 
@@ -25,7 +25,7 @@ fn tc_incremental_with(opts: OptFlags, pool_bytes: u64) -> itg_engine::RunMetric
         buffer_pool_bytes: pool_bytes,
         ..EngineConfig::default()
     };
-    let mut s = Session::from_source(programs::TRIANGLE_COUNT, &input, cfg).unwrap();
+    let mut s = SessionBuilder::from_config(cfg).from_source(programs::TRIANGLE_COUNT, &input).unwrap();
     s.run_oneshot();
     s.apply_mutations(&MutationBatch::new(
         edges[cut..]
@@ -67,6 +67,7 @@ fn seek_window_sharing_cuts_page_reads_under_memory_pressure() {
             neighbor_prune: true,
             seek_window_share: false,
             min_count: true,
+            specialize: true,
         },
         small_pool,
     );
@@ -96,7 +97,7 @@ fn cnt_avoids_min_recomputation_under_deletions() {
             },
             ..EngineConfig::default()
         };
-        let mut s = Session::from_source(programs::WCC, &input, cfg).unwrap();
+        let mut s = SessionBuilder::from_config(cfg).from_source(programs::WCC, &input).unwrap();
         s.run_oneshot();
         s.apply_mutations(&MutationBatch::new(vec![EdgeMutation::delete(3, 7)]));
         s.run_incremental()
@@ -124,11 +125,7 @@ fn incremental_io_scales_with_delta_not_graph() {
         let cut = edges.len() - 10;
         let mut input = GraphInput::undirected(edges[..cut].to_vec());
         input.num_vertices = n;
-        let mut s = Session::from_source(
-            programs::TRIANGLE_COUNT,
-            &input,
-            EngineConfig::default(),
-        )
+        let mut s = SessionBuilder::from_config(EngineConfig::default()).from_source(programs::TRIANGLE_COUNT, &input)
         .unwrap();
         let one = s.run_oneshot();
         s.apply_mutations(&MutationBatch::new(
@@ -164,7 +161,7 @@ fn maintenance_policy_controls_store_read_growth() {
             max_supersteps: 10,
             ..EngineConfig::default()
         };
-        let mut s = Session::from_source(programs::LABEL_PROP, &input, cfg).unwrap();
+        let mut s = SessionBuilder::from_config(cfg).from_source(programs::LABEL_PROP, &input).unwrap();
         s.run_oneshot();
         let mut pool: Vec<(u64, u64)> = edges[cut..].to_vec();
         let mut first = 0;

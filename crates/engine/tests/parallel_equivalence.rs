@@ -12,7 +12,7 @@
 //! outputs.
 
 use itg_algorithms::programs;
-use itg_engine::{EngineConfig, GraphInput, RunMetrics, Session};
+use itg_engine::{EngineConfig, GraphInput, RunMetrics, SessionBuilder};
 use itg_gsa::{Value, VertexId};
 use itg_store::{EdgeMutation, MutationBatch};
 use rand::rngs::SmallRng;
@@ -103,7 +103,7 @@ fn observe(
     if matches!(name, "pr" | "lp") {
         config.max_supersteps = 10;
     }
-    let mut sess = Session::from_source(&src, &input, config).unwrap();
+    let mut sess = SessionBuilder::from_config(config).from_source(&src, &input).unwrap();
     let mut runs: Vec<RunMetrics> = vec![sess.run_oneshot()];
     for b in batches {
         sess.apply_mutations(b);
@@ -220,7 +220,7 @@ fn optimization_flags_compose_with_threading() {
         config.opts = opts;
         let mut input = GraphInput::undirected(base.clone());
         input.num_vertices = N as usize;
-        let mut s = Session::from_source(programs::TRIANGLE_COUNT, &input, config).unwrap();
+        let mut s = SessionBuilder::from_config(config).from_source(programs::TRIANGLE_COUNT, &input).unwrap();
         s.run_oneshot();
         for b in &batches {
             s.apply_mutations(b);

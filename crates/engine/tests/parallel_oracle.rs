@@ -7,9 +7,9 @@
 
 mod common;
 
-use common::{attr_names, build_workload, mk_config, mk_input, Scenario, ALGOS};
+use common::{attr_names, build_workload, mk_config, mk_input, MutationMode, Scenario, ALGOS};
 use itg_algorithms::programs;
-use itg_engine::Session;
+use itg_engine::SessionBuilder;
 use proptest::prelude::*;
 
 fn scenario() -> impl Strategy<Value = Scenario> {
@@ -20,14 +20,20 @@ fn scenario() -> impl Strategy<Value = Scenario> {
         any::<u64>(),
         1usize..4,
         4usize..12,
+        any::<bool>(),
     )
-        .prop_map(|(a, machines, t, seed, batches, batch_size)| Scenario {
+        .prop_map(|(a, machines, t, seed, batches, batch_size, hot)| Scenario {
             algo: ALGOS[a],
             machines,
             threads: [1usize, 2, 4][t],
             seed,
             batches,
             batch_size,
+            mutation_mode: if hot {
+                MutationMode::HotVertex
+            } else {
+                MutationMode::Uniform
+            },
         })
 }
 
@@ -41,11 +47,7 @@ proptest! {
 
         // System under test: incremental maintenance, possibly parallel at
         // both levels (machines × threads).
-        let mut sess = Session::from_source(
-            &src,
-            &mk_input(sc.algo, &base),
-            mk_config(sc.algo, sc.machines, sc.threads),
-        )
+        let mut sess = SessionBuilder::from_config(mk_config(sc.algo, sc.machines, sc.threads)).from_source(&src, &mk_input(sc.algo, &base))
         .unwrap();
         sess.run_oneshot();
         let mut edges = base.clone();
@@ -63,11 +65,7 @@ proptest! {
         }
 
         // Oracle: from-scratch serial one-shot on the final graph.
-        let mut oracle = Session::from_source(
-            &src,
-            &mk_input(sc.algo, &edges),
-            mk_config(sc.algo, 1, 1),
-        )
+        let mut oracle = SessionBuilder::from_config(mk_config(sc.algo, 1, 1)).from_source(&src, &mk_input(sc.algo, &edges))
         .unwrap();
         oracle.run_oneshot();
 

@@ -235,21 +235,6 @@ impl EdgeStoreDir {
         }
     }
 
-    /// Deprecated: use [`EdgeStoreDir::commit`] — the split
-    /// `apply_delta`/`apply_batch` ingestion paths were collapsed into one
-    /// WAL-hookable entry point. This shim builds a batch from the pair
-    /// lists and forwards to `commit`, discarding the receipt.
-    pub fn apply_delta(
-        &mut self,
-        inserts: &[(VertexId, VertexId)],
-        deletes: &[(VertexId, VertexId)],
-    ) {
-        let mut edges = Vec::with_capacity(inserts.len() + deletes.len());
-        edges.extend(inserts.iter().map(|&(s, d)| EdgeMutation::insert(s, d)));
-        edges.extend(deletes.iter().map(|&(s, d)| EdgeMutation::delete(s, d)));
-        self.commit(&MutationBatch::new(edges));
-    }
-
     /// The segment-building core shared by [`EdgeStoreDir::commit`] and
     /// the snapshot loader.
     fn ingest(
@@ -626,14 +611,6 @@ impl EdgeStore {
             r.commit(&MutationBatch::new(flipped));
         }
         receipt
-    }
-
-    /// Deprecated: use [`EdgeStore::commit`] — the split
-    /// `apply_delta`/`apply_batch` ingestion paths were collapsed into one
-    /// WAL-hookable entry point. This shim forwards to `commit` and
-    /// discards the receipt.
-    pub fn apply_batch(&mut self, batch: &MutationBatch) {
-        self.commit(batch);
     }
 }
 

@@ -43,5 +43,5 @@ pub use mutation::{EdgeMutation, MutationBatch};
 pub use pager::{BufferPool, PageId, DEFAULT_PAGE_SIZE};
 pub use snapshot::SnapshotError;
 pub use stats::{IoSnapshot, IoStats};
-pub use vertex_store::{AttrStore, Run};
+pub use vertex_store::{AttrStore, Run, WindowBase};
 pub use wal::{Wal, WalEntry, WalError, WalRecord, WalScan, WAL_FILE};

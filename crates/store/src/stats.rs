@@ -29,6 +29,14 @@ pub(crate) struct StoreObs {
     pub(crate) attr_load: itg_obs::SpanHandle,
     pub(crate) attr_record: itg_obs::SpanHandle,
     pub(crate) merge: itg_obs::SpanHandle,
+    /// NGW segment cache events (DESIGN.md §10.2): a `hit` serves a window
+    /// load from a pinned segment (plus a delta-suffix overlay), a `miss`
+    /// reconstructs it from the full chain, an `evict` drops the
+    /// lowest-score entry to make room. `hit + miss` equals the number of
+    /// cacheable window loads at every capacity, including 0 (cache off).
+    pub(crate) cache_hit: itg_obs::CounterHandle,
+    pub(crate) cache_miss: itg_obs::CounterHandle,
+    pub(crate) cache_evict: itg_obs::CounterHandle,
 }
 
 impl StoreObs {
@@ -42,6 +50,9 @@ impl StoreObs {
             attr_load: rec.span("store/attr_load"),
             attr_record: rec.span("store/attr_record"),
             merge: rec.span("store/merge"),
+            cache_hit: rec.counter("cache/hit"),
+            cache_miss: rec.counter("cache/miss"),
+            cache_evict: rec.counter("cache/evict"),
         }
     }
 }
@@ -62,6 +73,9 @@ struct Counters {
     net_bytes: AtomicU64,
     walks_enumerated: AtomicU64,
     recomputations: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
 }
 
 /// A point-in-time snapshot of the counters.
@@ -74,6 +88,9 @@ pub struct IoSnapshot {
     pub net_bytes: u64,
     pub walks_enumerated: u64,
     pub recomputations: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_evictions: u64,
 }
 
 impl IoSnapshot {
@@ -87,6 +104,9 @@ impl IoSnapshot {
             net_bytes: self.net_bytes - earlier.net_bytes,
             walks_enumerated: self.walks_enumerated - earlier.walks_enumerated,
             recomputations: self.recomputations - earlier.recomputations,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            cache_evictions: self.cache_evictions - earlier.cache_evictions,
         }
     }
 
@@ -151,6 +171,24 @@ impl IoStats {
         self.inner.recomputations.fetch_add(1, Ordering::Relaxed);
     }
 
+    #[inline]
+    pub fn add_cache_hit(&self) {
+        self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.obs.cache_hit.add(1);
+    }
+
+    #[inline]
+    pub fn add_cache_miss(&self) {
+        self.inner.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.obs.cache_miss.add(1);
+    }
+
+    #[inline]
+    pub fn add_cache_evict(&self) {
+        self.inner.cache_evictions.fetch_add(1, Ordering::Relaxed);
+        self.obs.cache_evict.add(1);
+    }
+
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
             disk_read_bytes: self.inner.disk_read_bytes.load(Ordering::Relaxed),
@@ -160,6 +198,9 @@ impl IoStats {
             net_bytes: self.inner.net_bytes.load(Ordering::Relaxed),
             walks_enumerated: self.inner.walks_enumerated.load(Ordering::Relaxed),
             recomputations: self.inner.recomputations.load(Ordering::Relaxed),
+            cache_hits: self.inner.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.inner.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.inner.cache_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -171,6 +212,9 @@ impl IoStats {
         self.inner.net_bytes.store(0, Ordering::Relaxed);
         self.inner.walks_enumerated.store(0, Ordering::Relaxed);
         self.inner.recomputations.store(0, Ordering::Relaxed);
+        self.inner.cache_hits.store(0, Ordering::Relaxed);
+        self.inner.cache_misses.store(0, Ordering::Relaxed);
+        self.inner.cache_evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -206,6 +250,26 @@ mod tests {
         assert_eq!(p.counter_total("net/bytes"), 64);
         // The aggregate counters are unaffected by observability.
         assert_eq!(s.snapshot().disk_read_bytes, 4096);
+    }
+
+    #[test]
+    fn cache_counters_feed_obs_family() {
+        let rec = itg_obs::Recorder::enabled();
+        let s = IoStats::with_obs(&rec);
+        s.add_cache_miss();
+        s.add_cache_hit();
+        s.add_cache_hit();
+        s.add_cache_evict();
+        let snap = s.snapshot();
+        assert_eq!(snap.cache_hits, 2);
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.cache_evictions, 1);
+        let p = rec.profile();
+        assert_eq!(p.counter_total("cache/hit"), 2);
+        assert_eq!(p.counter_total("cache/miss"), 1);
+        assert_eq!(p.counter_total("cache/evict"), 1);
+        s.reset();
+        assert_eq!(s.snapshot().cache_hits, 0);
     }
 
     #[test]

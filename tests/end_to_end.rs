@@ -18,11 +18,7 @@ fn rmat_triangle_pipeline_matches_reference() {
     let (n, mut workload) = rmat_workload(10, 5);
     let mut input = GraphInput::undirected(workload.initial.clone());
     input.num_vertices = n;
-    let mut session = Session::from_source(
-        iturbograph::algorithms::TRIANGLE_COUNT,
-        &input,
-        EngineConfig::with_machines(3),
-    )
+    let mut session = SessionBuilder::from_config(EngineConfig::with_machines(3)).from_source(iturbograph::algorithms::TRIANGLE_COUNT, &input)
     .unwrap();
     session.run_oneshot();
 
@@ -55,11 +51,7 @@ fn wcc_pipeline_on_rmat_with_heavy_deletions() {
     let (n, mut workload) = rmat_workload(9, 8);
     let mut input = GraphInput::undirected(workload.initial.clone());
     input.num_vertices = n;
-    let mut session = Session::from_source(
-        iturbograph::algorithms::WCC,
-        &input,
-        EngineConfig::with_machines(2),
-    )
+    let mut session = SessionBuilder::from_config(EngineConfig::with_machines(2)).from_source(iturbograph::algorithms::WCC, &input)
     .unwrap();
     session.run_oneshot();
 
@@ -103,11 +95,7 @@ fn insertion_only_and_deletion_only_workloads() {
     let cut = edges.len() * 8 / 10;
     let mut base_input = GraphInput::undirected(edges[..cut].to_vec());
     base_input.num_vertices = n;
-    let mut s = Session::from_source(
-        iturbograph::algorithms::TRIANGLE_COUNT,
-        &base_input,
-        EngineConfig::default(),
-    )
+    let mut s = SessionBuilder::from_config(EngineConfig::default()).from_source(iturbograph::algorithms::TRIANGLE_COUNT, &base_input)
     .unwrap();
     s.run_oneshot();
     s.apply_mutations(&MutationBatch::new(
@@ -136,11 +124,7 @@ fn insertion_only_and_deletion_only_workloads() {
 fn bfs_incremental_tracks_shrinking_distances() {
     // Path 0-1-2-3-4-5; inserting a shortcut (0,4) shortens distances.
     let input = GraphInput::undirected(vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
-    let mut s = Session::from_source(
-        &iturbograph::algorithms::bfs(0),
-        &input,
-        EngineConfig::default(),
-    )
+    let mut s = SessionBuilder::from_config(EngineConfig::default()).from_source(&iturbograph::algorithms::bfs(0), &input)
     .unwrap();
     s.run_oneshot();
     assert_eq!(s.attr_value(5, "dist").unwrap(), Value::Long(5));
@@ -160,11 +144,7 @@ fn bfs_incremental_tracks_shrinking_distances() {
 #[test]
 fn bfs_disconnection_resets_to_infinity() {
     let input = GraphInput::undirected(vec![(0, 1), (1, 2)]);
-    let mut s = Session::from_source(
-        &iturbograph::algorithms::bfs(0),
-        &input,
-        EngineConfig::default(),
-    )
+    let mut s = SessionBuilder::from_config(EngineConfig::default()).from_source(&iturbograph::algorithms::bfs(0), &input)
     .unwrap();
     s.run_oneshot();
     assert_eq!(s.attr_value(2, "dist").unwrap(), Value::Long(2));
@@ -185,11 +165,7 @@ fn machine_counts_agree_on_results() {
     for machines in [1, 2, 5, 8] {
         let mut input = GraphInput::undirected(edges.clone());
         input.num_vertices = n;
-        let mut s = Session::from_source(
-            iturbograph::algorithms::TRIANGLE_COUNT,
-            &input,
-            EngineConfig::with_machines(machines),
-        )
+        let mut s = SessionBuilder::from_config(EngineConfig::with_machines(machines)).from_source(iturbograph::algorithms::TRIANGLE_COUNT, &input)
         .unwrap();
         s.run_oneshot();
         s.apply_mutations(&MutationBatch::new(vec![
@@ -209,11 +185,7 @@ fn incremental_beats_reexecution_on_io() {
     let (n, mut workload) = rmat_workload(12, 33);
     let mut input = GraphInput::undirected(workload.initial.clone());
     input.num_vertices = n;
-    let mut s = Session::from_source(
-        iturbograph::algorithms::TRIANGLE_COUNT,
-        &input,
-        EngineConfig::default(),
-    )
+    let mut s = SessionBuilder::from_config(EngineConfig::default()).from_source(iturbograph::algorithms::TRIANGLE_COUNT, &input)
     .unwrap();
     let one = s.run_oneshot();
 
@@ -240,19 +212,11 @@ fn incremental_beats_reexecution_on_io() {
 #[test]
 fn error_paths_are_reported() {
     // Parse error.
-    let bad = Session::from_source(
-        "Vertex (id) wat",
-        &GraphInput::undirected(vec![(0, 1)]),
-        EngineConfig::default(),
-    );
+    let bad = SessionBuilder::from_config(EngineConfig::default()).from_source("Vertex (id) wat", &GraphInput::undirected(vec![(0, 1)]));
     assert!(bad.is_err());
     // Unknown attribute read.
     let input = GraphInput::undirected(vec![(0, 1), (0, 2), (1, 2)]);
-    let mut s = Session::from_source(
-        iturbograph::algorithms::TRIANGLE_COUNT,
-        &input,
-        EngineConfig::default(),
-    )
+    let mut s = SessionBuilder::from_config(EngineConfig::default()).from_source(iturbograph::algorithms::TRIANGLE_COUNT, &input)
     .unwrap();
     s.run_oneshot();
     assert!(s.attr_value(0, "nope").is_err());

@@ -75,7 +75,7 @@ fn run_incremental(scn: &Scenario, src: &str, max_ss: usize) -> Session {
     let mut cfg = EngineConfig::with_machines(scn.machines);
     cfg.parallel = false;
     cfg.max_supersteps = max_ss;
-    let mut s = Session::from_source(src, &input, cfg).unwrap();
+    let mut s = SessionBuilder::from_config(cfg).from_source(src, &input).unwrap();
     s.run_oneshot();
     for batch in &scn.batches {
         let muts: Vec<EdgeMutation> = batch
