@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p itg-bench --bin expt -- <table6|fig12|fig13|fig14|
-//!     fig15a|fig15b|fig16a|fig16b|fig17|scaling|profile|all>
+//!     fig15a|fig15b|fig16a|fig16b|fig17|scaling|serve|profile|all>
 //!     [--profile FILE] [--transport local|process] [--durable]
 //! ```
 //!
@@ -15,6 +15,11 @@
 //!
 //! `scaling` is not a paper artifact: it measures intra-partition thread
 //! scaling (`threads_per_machine` ∈ {1, 2, 4}) on a skewed RMAT graph.
+//!
+//! `serve` is not a paper artifact either: it maintains K identical
+//! standing queries over the same mutation stream, isolated (K sessions)
+//! vs shared (one `QueryRegistry`), asserting byte-equal results and
+//! reporting the sharing speedup (DESIGN.md §11.5).
 //!
 //! `profile [algo]` is the observability entry point: it runs one algorithm
 //! (default `pr`) one-shot plus incremental batches under an enabled
@@ -64,6 +69,7 @@ fn main() {
         "fig16b" => fig16b(),
         "fig17" => fig17(),
         "scaling" => scaling(),
+        "serve" => serve_expt(),
         "profile" => profile(args.get(1).map(|s| s.as_str()).unwrap_or("pr")),
         "all" => {
             table6();
@@ -76,6 +82,7 @@ fn main() {
             fig16b();
             fig17();
             scaling();
+            serve_expt();
         }
         other => {
             eprintln!("unknown experiment `{other}`");
@@ -784,5 +791,127 @@ fn fig17() {
             "store bytes",
         ],
         &rows,
+    );
+}
+
+/// `expt serve`: shared vs isolated standing-query maintenance (DESIGN.md
+/// §11, not a paper artifact). K structurally identical TC queries are
+/// registered in one `QueryRegistry` — landing in one share group, so the
+/// Δ-plan runs once per batch — and the same K queries are driven as K
+/// isolated sessions over the same mutation history. Reported per K:
+/// steady-state maintenance wall clock (one-shot excluded on both sides),
+/// the `share/hit` count, and the speedup. A final row mixes identical,
+/// alpha-renamed, overlapping, and disjoint programs to exercise the
+/// grouping and the `share/unique_subplans` counter. Sessions are always
+/// non-durable here: share groups would collide on a single WAL directory.
+fn serve_expt() {
+    let seed = 1100;
+    let src = iturbograph::algorithms::source("tc").unwrap();
+    let cfg = EngineConfig {
+        machines: 1,
+        max_supersteps: superstep_cap("tc"),
+        transport: transport_kind(),
+        ..EngineConfig::default()
+    };
+    // One workload for every row: the initial 90% graph plus BATCHES
+    // mutation batches, materialized once so shared and isolated runs see
+    // byte-identical histories.
+    let mut ds = Dataset::rmat_undirected("RMAT_11", 11, seed);
+    let input = ds.graph_input();
+    let batches: Vec<MutationBatch> = (0..BATCHES)
+        .map(|_| ds.next_batch(BATCH_SIZE, RATIO))
+        .collect();
+
+    let mut rows = Vec::new();
+    for k in [1usize, 2, 4, 8] {
+        // Isolated: K sessions, each applying and refreshing every batch.
+        let mut sessions: Vec<Session> = (0..k)
+            .map(|_| {
+                SessionBuilder::from_config(cfg.clone())
+                    .from_source(&src, &input)
+                    .expect("program compiles")
+            })
+            .collect();
+        for s in &mut sessions {
+            s.run_oneshot();
+        }
+        let t0 = std::time::Instant::now();
+        for batch in &batches {
+            for s in &mut sessions {
+                s.apply_mutations(batch);
+                s.run_incremental();
+            }
+        }
+        let isolated = t0.elapsed().as_secs_f64();
+
+        // Shared: one registry, K registrations, one share group.
+        let mut reg = QueryRegistry::new(&input, cfg.clone(), ServeLimits::default());
+        let ids: Vec<QueryId> = (0..k)
+            .map(|i| reg.register(&format!("tc{i}"), &src).expect("admitted"))
+            .collect();
+        assert_eq!(reg.num_groups(), 1, "identical programs must share");
+        let t0 = std::time::Instant::now();
+        for batch in &batches {
+            reg.commit(batch).expect("batch admitted");
+        }
+        let shared = t0.elapsed().as_secs_f64();
+        // Sharing must not change any query's bytes.
+        let oracle = sessions[0].dynamic_state_image();
+        for &id in &ids {
+            assert_eq!(
+                reg.dynamic_state_image(id).expect("registered"),
+                oracle,
+                "shared result diverged from isolated"
+            );
+        }
+        rows.push(vec![
+            format!("{k}"),
+            format!("{isolated:.4}"),
+            format!("{shared:.4}"),
+            format!("{:.2}x", isolated / shared.max(1e-12)),
+            format!("{}", reg.share_hits()),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Standing-query maintenance: K identical TC queries, {BATCHES} batches of {BATCH_SIZE} \
+             (isolated vs shared registry)"
+        ),
+        &["K", "isolated [s]", "shared [s]", "speedup", "share/hit"],
+        &rows,
+    );
+
+    // Mixed registration: 2× tc (identical), an alpha-renamed tc (same
+    // structural hash), a doubled-action tc (same walk shape, different
+    // program), and wcc (disjoint).
+    let renamed = src
+        .replace("cnts", "triangles")
+        .replace("u1", "w")
+        .replace("u2", "x")
+        .replace("u3", "y")
+        .replace("u4", "z");
+    let doubled = src.replace("Accumulate(1)", "Accumulate(2)");
+    let wcc = iturbograph::algorithms::source("wcc").unwrap();
+    let mut reg = QueryRegistry::new(&input, cfg, ServeLimits::default());
+    for (name, s) in [
+        ("tc-a", src.as_str()),
+        ("tc-b", src.as_str()),
+        ("tc-renamed", renamed.as_str()),
+        ("tc-doubled", doubled.as_str()),
+        ("wcc", wcc.as_str()),
+    ] {
+        reg.register(name, s).expect("admitted");
+    }
+    for batch in &batches {
+        reg.commit(batch).expect("batch admitted");
+    }
+    println!(
+        "mixed workload: {} queries -> {} shared groups, {} unique walk shapes, \
+         {} share hits over {} batches",
+        reg.num_queries(),
+        reg.num_groups(),
+        reg.unique_subplans(),
+        reg.share_hits(),
+        BATCHES,
     );
 }

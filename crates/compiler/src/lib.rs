@@ -11,10 +11,12 @@
 //!   algebraic test suite).
 
 pub mod algebra;
+pub mod canon;
 pub mod lower;
 pub mod optimize;
 pub mod plan;
 
+pub use canon::{expr_fingerprint, program_hash, walk_shape_hash};
 pub use plan::{
     AccmLane, ActionTarget, CompiledProgram, DeltaSubQuery, HopSpec, ProgramAnalysis, TraversePlan,
     VStmt, VertexProgram, WalkAction, WalkQuery,

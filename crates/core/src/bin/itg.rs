@@ -6,11 +6,31 @@
 //! itg run     <program.lnga> <edges.txt>     one-shot run, print results
 //!     [--undirected] [--machines N] [--max-supersteps N]
 //!     [--mutations <muts.txt>]               then incremental batches
+//! itg serve   <edges.txt>                    standing-query server
+//!     [--undirected] [--machines N] [--max-supersteps N]
+//!     [--script <cmds.txt>]                  command file (default: stdin)
+//!     [--max-queries N] [--max-batch-edges N] [--batch-budget-ms N]
 //! ```
 //!
 //! Edge files are whitespace-separated `src dst` pairs, one per line;
 //! `#`-prefixed lines are comments. Mutation files use `+ src dst` /
 //! `- src dst` lines, with blank lines separating batches.
+//!
+//! `serve` reads a line protocol (from `--script` or stdin) and drives a
+//! [`QueryRegistry`]: structurally identical registered queries share one
+//! backing session, so their Δ-plans run once per committed batch:
+//!
+//! ```text
+//! REGISTER <name> <program.lnga>    register a standing query
+//! UNREGISTER <name>                 remove it
+//! BATCH                             start collecting mutations …
+//! + <src> <dst>                     …an edge insert
+//! - <src> <dst>                     …an edge delete
+//! COMMIT                            apply the batch, refresh all queries
+//! QUERY <name>                      print the query's current results
+//! STATS                             registry-wide sharing counters
+//! QUIT                              stop (EOF works too)
+//! ```
 
 use iturbograph::prelude::*;
 use std::fs;
@@ -104,13 +124,191 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
+        "serve" => serve(args),
         _ => {
             eprintln!(
-                "usage: itg <check|explain|run> <program.lnga> [edges.txt] \
-                 [--undirected] [--machines N] [--max-supersteps N] [--mutations muts.txt]"
+                "usage: itg <check|explain|run|serve> <program.lnga|edges.txt> [edges.txt] \
+                 [--undirected] [--machines N] [--max-supersteps N] [--mutations muts.txt] \
+                 [--script cmds.txt] [--max-queries N] [--max-batch-edges N] \
+                 [--batch-budget-ms N]"
             );
             Err("unknown command".into())
         }
+    }
+}
+
+/// The `itg serve` loop: build a [`QueryRegistry`] over the edge file and
+/// drive it from the line protocol (see the module docs).
+fn serve(args: &[String]) -> Result<(), String> {
+    let edges = parse_edges(&read(arg(args, 1, "edge file")?)?)?;
+    let undirected = flag(args, "--undirected");
+    let machines: usize = opt(args, "--machines")?.unwrap_or(1);
+    let max_ss: usize = opt(args, "--max-supersteps")?.unwrap_or(usize::MAX);
+
+    let input = if undirected {
+        GraphInput::undirected(edges)
+    } else {
+        GraphInput::directed(edges)
+    };
+    let cfg = EngineConfig {
+        machines,
+        parallel: machines > 1,
+        max_supersteps: max_ss,
+        ..EngineConfig::from_env()
+    };
+    // Flags override the ITG_MAX_QUERIES / ITG_MAX_BATCH_EDGES /
+    // ITG_BATCH_BUDGET_MS environment knobs, which override the defaults.
+    let mut limits = ServeLimits::from_env();
+    if let Some(n) = opt(args, "--max-queries")? {
+        limits.max_queries = n;
+    }
+    if let Some(n) = opt(args, "--max-batch-edges")? {
+        limits.max_batch_edges = n;
+    }
+    if let Some(ms) = opt(args, "--batch-budget-ms")? {
+        limits.batch_budget_ms = Some(ms);
+    }
+    let mut registry = QueryRegistry::new(&input, cfg, limits);
+
+    let script: Box<dyn std::io::BufRead> = match opt_str(args, "--script") {
+        Some(path) => Box::new(std::io::BufReader::new(
+            fs::File::open(&path).map_err(|e| format!("{path}: {e}"))?,
+        )),
+        None => Box::new(std::io::BufReader::new(std::io::stdin())),
+    };
+
+    let mut names: std::collections::BTreeMap<String, QueryId> = std::collections::BTreeMap::new();
+    let mut pending: Option<Vec<EdgeMutation>> = None;
+    for (ln, line) in std::io::BufRead::lines(script).enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let at = |msg: String| format!("line {}: {msg}", ln + 1);
+        let mut it = line.split_whitespace();
+        let cmd = it.next().unwrap_or("");
+        // Inside a BATCH, only mutation lines and COMMIT are meaningful.
+        if let Some(muts) = pending.as_mut() {
+            match cmd {
+                "+" | "-" => {
+                    let s: u64 = it
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| at("expected `+|- src dst`".into()))?;
+                    let d: u64 = it
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| at("expected `+|- src dst`".into()))?;
+                    muts.push(if cmd == "+" {
+                        EdgeMutation::insert(s, d)
+                    } else {
+                        EdgeMutation::delete(s, d)
+                    });
+                    continue;
+                }
+                "COMMIT" => {
+                    let batch = MutationBatch::new(pending.take().unwrap());
+                    match registry.commit(&batch) {
+                        Ok(stats) => println!(
+                            "committed batch {}: {} plan run(s) served {} quer{}, \
+                             {} share hit(s), {} ms{}",
+                            stats.epoch,
+                            stats.groups_run,
+                            stats.queries_served,
+                            if stats.queries_served == 1 { "y" } else { "ies" },
+                            stats.share_hits,
+                            stats.elapsed_ms,
+                            if stats.over_budget { " (OVER BUDGET)" } else { "" },
+                        ),
+                        Err(e) => println!("rejected: {e}"),
+                    }
+                    continue;
+                }
+                other => return Err(at(format!("expected mutation or COMMIT, got `{other}`"))),
+            }
+        }
+        match cmd {
+            "REGISTER" => {
+                let name = it.next().ok_or_else(|| at("REGISTER <name> <path>".into()))?;
+                let path = it.next().ok_or_else(|| at("REGISTER <name> <path>".into()))?;
+                let src = read(path)?;
+                match registry.register(name, &src) {
+                    Ok(id) => {
+                        names.insert(name.to_string(), id);
+                        println!(
+                            "registered {name} as {id} ({} quer{}, {} shared group(s))",
+                            registry.num_queries(),
+                            if registry.num_queries() == 1 { "y" } else { "ies" },
+                            registry.num_groups(),
+                        );
+                    }
+                    Err(e) => println!("rejected: {e}"),
+                }
+            }
+            "UNREGISTER" => {
+                let name = it.next().ok_or_else(|| at("UNREGISTER <name>".into()))?;
+                let id = *names
+                    .get(name)
+                    .ok_or_else(|| at(format!("unknown query `{name}`")))?;
+                registry.unregister(id).map_err(|e| at(e.to_string()))?;
+                names.remove(name);
+                println!("unregistered {name}");
+            }
+            "BATCH" => pending = Some(Vec::new()),
+            "QUERY" => {
+                let name = it.next().ok_or_else(|| at("QUERY <name>".into()))?;
+                let id = *names
+                    .get(name)
+                    .ok_or_else(|| at(format!("unknown query `{name}`")))?;
+                print_registry_results(&registry, id);
+            }
+            "STATS" => println!(
+                "{} quer{}, {} shared group(s), {} unique walk shape(s), \
+                 {} share hit(s), epoch {}",
+                registry.num_queries(),
+                if registry.num_queries() == 1 { "y" } else { "ies" },
+                registry.num_groups(),
+                registry.unique_subplans(),
+                registry.share_hits(),
+                registry.epoch(),
+            ),
+            "QUIT" => break,
+            other => return Err(at(format!("unknown command `{other}`"))),
+        }
+    }
+    Ok(())
+}
+
+/// `QUERY <name>` output: globals, then the first few vertex attributes —
+/// resolved through the query's *own* symbol names (its share-group
+/// leader may use different ones).
+fn print_registry_results(registry: &QueryRegistry, id: QueryId) {
+    let program = registry.query_program(id).expect("registered");
+    for g in &program.symbols.globals {
+        if let Ok(v) = registry.global_value(id, &g.name) {
+            println!("  global {} = {}", g.name, v);
+        }
+    }
+    let attrs: Vec<String> = program.symbols.attrs[1..]
+        .iter()
+        .map(|a| a.name.clone())
+        .collect();
+    if attrs.is_empty() {
+        return;
+    }
+    let n = registry.current_input().num_vertices.min(10);
+    for v in 0..n as u64 {
+        let vals: Vec<String> = attrs
+            .iter()
+            .map(|a| {
+                registry
+                    .attr_value(id, v, a)
+                    .map(|x| format!("{a}={x}"))
+                    .unwrap_or_default()
+            })
+            .collect();
+        println!("  v{v}: {}", vals.join("  "));
     }
 }
 

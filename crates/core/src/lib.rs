@@ -29,6 +29,35 @@
 //! assert_eq!(session.global_value("cnts", None).unwrap(), Value::Long(2));
 //! ```
 //!
+//! ## Standing queries
+//!
+//! [`QueryRegistry`](prelude::QueryRegistry) (the engine behind
+//! `itg serve`) maintains many registered queries against one mutation
+//! stream, backing structurally identical queries with a single shared
+//! session so their Δ-walks are enumerated once per batch:
+//!
+//! ```
+//! use iturbograph::prelude::*;
+//!
+//! let graph = GraphInput::undirected(vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+//! let mut registry =
+//!     QueryRegistry::new(&graph, EngineConfig::default(), ServeLimits::default());
+//! let a = registry.register("tc-a", iturbograph::algorithms::TRIANGLE_COUNT).unwrap();
+//! let b = registry.register("tc-b", iturbograph::algorithms::TRIANGLE_COUNT).unwrap();
+//! assert_eq!(registry.num_groups(), 1); // structural twins share one session
+//!
+//! let batch = MutationBatch::new(vec![EdgeMutation::insert(1, 3)]);
+//! let stats = registry.commit(&batch).unwrap();
+//! assert_eq!(stats.share_hits, 1); // enumerated once, fanned out to both
+//! assert_eq!(registry.global_value(a, "cnts").unwrap(), Value::Long(2));
+//! assert_eq!(registry.global_value(b, "cnts").unwrap(), Value::Long(2));
+//! ```
+//!
+//! Sharing is keyed on [`program_hash`](prelude::program_hash), a
+//! name-insensitive structural hash of the compiled plan, and results are
+//! byte-identical to running each query in its own isolated session
+//! (DESIGN.md §11).
+//!
 //! ## Crate map
 //!
 //! | Re-export | Crate | Paper section |
@@ -59,10 +88,11 @@ pub mod algorithms {
 
 /// The common imports for applications.
 pub mod prelude {
-    pub use itg_compiler::{compile_source, CompiledProgram};
+    pub use itg_compiler::{compile_source, program_hash, walk_shape_hash, CompiledProgram};
     pub use itg_engine::{
-        DurabilityKind, EngineConfig, GraphInput, OptFlags, RunKind, RunMetrics, Session,
-        SessionBuilder, SnapshotId, TransportKind,
+        CommitStats, DurabilityKind, EngineConfig, GraphInput, OptFlags, QueryId, QueryRegistry,
+        RegistryError, RunKind, RunMetrics, ServeLimits, Session, SessionBuilder, SnapshotId,
+        TransportKind,
     };
     pub use itg_gsa::{Value, VertexId};
     pub use itg_store::{BatchReceipt, EdgeMutation, MaintenancePolicy, MutationBatch};

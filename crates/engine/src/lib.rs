@@ -20,6 +20,15 @@
 //! barriers, global reduction, and convergence voting (DESIGN.md
 //! §Distribution).
 
+//! ## Standing queries
+//!
+//! [`registry::QueryRegistry`] is the multi-tenant layer over [`Session`]:
+//! queries register against a live graph, every committed mutation batch
+//! drives all registered Δ-plans, and structurally identical queries
+//! (equal [`itg_compiler::program_hash`]) share one backing session so
+//! their Δ-walks are enumerated once per batch (DESIGN.md §11). The
+//! `itg serve` CLI and `expt serve` workload are built on it.
+
 pub mod accum;
 pub mod builder;
 pub mod config;
@@ -28,6 +37,7 @@ pub mod durability;
 pub mod graph;
 pub mod metrics;
 pub mod msbfs;
+pub mod registry;
 pub mod session;
 pub mod transport;
 pub mod vexec;
@@ -40,6 +50,7 @@ pub use config::{EngineConfig, OptFlags};
 pub use durability::{DurabilityKind, SnapshotId};
 pub use graph::{ClusterGraph, GraphInput};
 pub use metrics::{ParallelMetrics, RunKind, RunMetrics};
+pub use registry::{CommitStats, QueryId, QueryRegistry, RegistryError, ServeLimits};
 pub use session::{EngineError, Session};
 pub use transport::{Transport, TransportError, TransportKind};
 pub use wire::Payload;
