@@ -31,6 +31,13 @@
 //! STATS                             registry-wide sharing counters
 //! QUIT                              stop (EOF works too)
 //! ```
+//!
+//! A long-lived server must survive operator typos: malformed or
+//! out-of-order commands (a bad `+ src dst`, `COMMIT` without `BATCH`, an
+//! unknown query name) print an `error: line N: …` line and the session
+//! keeps going — only I/O failures reading the script itself are fatal.
+//! Registry-level rejections ([`ServeLimits`]) likewise print `rejected:`
+//! and leave the registry state untouched.
 
 use iturbograph::prelude::*;
 use std::fs;
@@ -185,27 +192,29 @@ fn serve(args: &[String]) -> Result<(), String> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let at = |msg: String| format!("line {}: {msg}", ln + 1);
+        // Protocol errors are not fatal: a standing-query server must
+        // outlive operator typos, so every malformed or out-of-order
+        // command prints an `error:` line and the loop keeps reading.
+        let at = |msg: String| format!("error: line {}: {msg}", ln + 1);
         let mut it = line.split_whitespace();
         let cmd = it.next().unwrap_or("");
         // Inside a BATCH, only mutation lines and COMMIT are meaningful.
         if let Some(muts) = pending.as_mut() {
             match cmd {
                 "+" | "-" => {
-                    let s: u64 = it
-                        .next()
-                        .and_then(|t| t.parse().ok())
-                        .ok_or_else(|| at("expected `+|- src dst`".into()))?;
-                    let d: u64 = it
-                        .next()
-                        .and_then(|t| t.parse().ok())
-                        .ok_or_else(|| at("expected `+|- src dst`".into()))?;
-                    muts.push(if cmd == "+" {
-                        EdgeMutation::insert(s, d)
-                    } else {
-                        EdgeMutation::delete(s, d)
-                    });
-                    continue;
+                    let s = it.next().and_then(|t| t.parse::<u64>().ok());
+                    let d = it.next().and_then(|t| t.parse::<u64>().ok());
+                    match (s, d) {
+                        (Some(s), Some(d)) => muts.push(if cmd == "+" {
+                            EdgeMutation::insert(s, d)
+                        } else {
+                            EdgeMutation::delete(s, d)
+                        }),
+                        _ => println!(
+                            "{}",
+                            at("expected `+|- src dst`; line ignored, batch still open".into())
+                        ),
+                    }
                 }
                 "COMMIT" => {
                     let batch = MutationBatch::new(pending.take().unwrap());
@@ -223,16 +232,29 @@ fn serve(args: &[String]) -> Result<(), String> {
                         ),
                         Err(e) => println!("rejected: {e}"),
                     }
-                    continue;
                 }
-                other => return Err(at(format!("expected mutation or COMMIT, got `{other}`"))),
+                other => println!(
+                    "{}",
+                    at(format!(
+                        "expected mutation or COMMIT, got `{other}`; batch still open"
+                    ))
+                ),
             }
+            continue;
         }
         match cmd {
             "REGISTER" => {
-                let name = it.next().ok_or_else(|| at("REGISTER <name> <path>".into()))?;
-                let path = it.next().ok_or_else(|| at("REGISTER <name> <path>".into()))?;
-                let src = read(path)?;
+                let (Some(name), Some(path)) = (it.next(), it.next()) else {
+                    println!("{}", at("REGISTER <name> <path>".into()));
+                    continue;
+                };
+                let src = match read(path) {
+                    Ok(src) => src,
+                    Err(e) => {
+                        println!("{}", at(e));
+                        continue;
+                    }
+                };
                 match registry.register(name, &src) {
                     Ok(id) => {
                         names.insert(name.to_string(), id);
@@ -247,20 +269,36 @@ fn serve(args: &[String]) -> Result<(), String> {
                 }
             }
             "UNREGISTER" => {
-                let name = it.next().ok_or_else(|| at("UNREGISTER <name>".into()))?;
-                let id = *names
-                    .get(name)
-                    .ok_or_else(|| at(format!("unknown query `{name}`")))?;
-                registry.unregister(id).map_err(|e| at(e.to_string()))?;
-                names.remove(name);
-                println!("unregistered {name}");
+                let Some(name) = it.next() else {
+                    println!("{}", at("UNREGISTER <name>".into()));
+                    continue;
+                };
+                let Some(&id) = names.get(name) else {
+                    println!("{}", at(format!("unknown query `{name}`")));
+                    continue;
+                };
+                match registry.unregister(id) {
+                    Ok(()) => {
+                        names.remove(name);
+                        println!("unregistered {name}");
+                    }
+                    Err(e) => println!("{}", at(e.to_string())),
+                }
             }
             "BATCH" => pending = Some(Vec::new()),
+            "COMMIT" => println!(
+                "{}",
+                at("COMMIT without an open BATCH; start one with `BATCH`".into())
+            ),
             "QUERY" => {
-                let name = it.next().ok_or_else(|| at("QUERY <name>".into()))?;
-                let id = *names
-                    .get(name)
-                    .ok_or_else(|| at(format!("unknown query `{name}`")))?;
+                let Some(name) = it.next() else {
+                    println!("{}", at("QUERY <name>".into()));
+                    continue;
+                };
+                let Some(&id) = names.get(name) else {
+                    println!("{}", at(format!("unknown query `{name}`")));
+                    continue;
+                };
                 print_registry_results(&registry, id);
             }
             "STATS" => println!(
@@ -274,7 +312,7 @@ fn serve(args: &[String]) -> Result<(), String> {
                 registry.epoch(),
             ),
             "QUIT" => break,
-            other => return Err(at(format!("unknown command `{other}`"))),
+            other => println!("{}", at(format!("unknown command `{other}`"))),
         }
     }
     Ok(())

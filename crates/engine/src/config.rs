@@ -102,10 +102,19 @@ pub struct EngineConfig {
     pub transport: TransportKind,
     /// Durability: [`DurabilityKind::None`] (default) or
     /// [`DurabilityKind::Wal`], which logs every state-changing command to
-    /// a write-ahead log before executing it and checkpoints full-state
+    /// a segmented write-ahead log before executing it and checkpoints
     /// snapshots for [`crate::Session::recover`] (DESIGN.md §9). Only
     /// supported with [`TransportKind::Local`].
     pub durability: DurabilityKind,
+    /// Whether [`crate::Session::checkpoint`] writes *incremental* (delta)
+    /// snapshots — an rsync-style byte diff against the previous snapshot
+    /// — instead of a full state image every time (DESIGN.md §9). On (the
+    /// default), checkpoint bytes scale with change volume; epoch 0 and
+    /// every [`MAX_DELTA_CHAIN`](crate::durability) -th snapshot are still
+    /// full so recovery composes a bounded chain. Off forces every
+    /// snapshot full. Recovery is byte-identical either way. Environment
+    /// knob: `ITG_SNAPSHOT_DELTA`.
+    pub snapshot_delta: bool,
     /// Observability recorder threaded through the session, its stores,
     /// and its walkers. Defaults to a clone of [`itg_obs::global`] — a
     /// no-op unless the `ITG_PROFILE` environment variable enables it (or
@@ -135,6 +144,7 @@ impl Default for EngineConfig {
             threads_per_machine: default_threads_per_machine(),
             transport: TransportKind::Local,
             durability: DurabilityKind::None,
+            snapshot_delta: true,
             obs: itg_obs::global().clone(),
         }
     }
@@ -176,6 +186,7 @@ impl EngineConfig {
     /// | `ITG_PROFILE`              | any non-empty value enables `obs`      |
     /// | `ITG_WAL_DIR`              | `durability = Wal { dir }`             |
     /// | `ITG_CACHE_BYTES`          | `cache_bytes` (integer; NGW cache)     |
+    /// | `ITG_SNAPSHOT_DELTA`       | `snapshot_delta` (`1`/`true`/`0`/`false`) |
     ///
     /// Precedence: an explicit setter/builder call after this constructor
     /// overrides the environment, which overrides the built-in default.
@@ -203,6 +214,13 @@ impl EngineConfig {
             .and_then(|s| s.trim().parse::<u64>().ok())
         {
             cfg.cache_bytes = bytes;
+        }
+        if let Some(v) = get("ITG_SNAPSHOT_DELTA") {
+            match v.trim().to_ascii_lowercase().as_str() {
+                "1" | "true" => cfg.snapshot_delta = true,
+                "0" | "false" => cfg.snapshot_delta = false,
+                _ => {} // tuning knob: garbage falls back to the default
+            }
         }
         cfg
     }
@@ -291,6 +309,23 @@ mod tests {
         assert!(!f.traversal_reorder && !f.neighbor_prune);
         assert!(!f.seek_window_share && !f.min_count);
         assert!(!f.specialize);
+    }
+
+    #[test]
+    fn snapshot_delta_env_parses_like_other_booleans() {
+        assert!(EngineConfig::from_env_lookup(|_| None).snapshot_delta);
+        for (val, want) in [("1", true), ("true", true), (" TRUE ", true), ("0", false), ("false", false)] {
+            let c = EngineConfig::from_env_lookup(|k| {
+                (k == "ITG_SNAPSHOT_DELTA").then(|| val.into())
+            });
+            assert_eq!(c.snapshot_delta, want, "ITG_SNAPSHOT_DELTA={val}");
+        }
+        // Garbage falls back to the default (on), matching the other
+        // tuning knobs.
+        let junk = EngineConfig::from_env_lookup(|k| {
+            (k == "ITG_SNAPSHOT_DELTA").then(|| "maybe".into())
+        });
+        assert!(junk.snapshot_delta);
     }
 
     #[test]

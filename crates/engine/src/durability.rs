@@ -1,11 +1,13 @@
-//! Durability: write-ahead logging and snapshot recovery (DESIGN.md §9).
+//! Durability: segmented write-ahead logging, incremental snapshots, and
+//! recovery (DESIGN.md §9).
 //!
 //! A durable session logs every state-changing command — the one-shot run,
 //! each mutation batch, each incremental run, each compaction — to a
 //! [`Wal`] *before* executing it. Because the engine's execution is
 //! deterministic given the stores and the command sequence (for every
 //! thread count — see [`crate::EngineConfig::threads_per_machine`]),
-//! recovery is: load the latest snapshot named by `manifest.json`, then
+//! recovery is: materialize the latest snapshot named by `manifest.json`
+//! (composing its delta chain over the nearest full snapshot), then
 //! re-execute the WAL tail from the manifest's `wal_start`. The recovered
 //! session's attribute values, global history, and store epochs are
 //! byte-identical to the pre-crash state — a torn final WAL record (the
@@ -17,11 +19,23 @@
 //! would change neighbor scan order and hence float accumulation order),
 //! both attribute stores with their delta chains, the working arrays, the
 //! global accumulator history, and the per-snapshot superstep counts.
+//! With [`crate::EngineConfig::snapshot_delta`] on (the default), a
+//! checkpoint *stores* that image as an [`itg_store::delta`] document
+//! against the previous snapshot — epoch 0 and every
+//! [`MAX_DELTA_CHAIN`]-th epoch stay full so recovery composes a bounded
+//! chain. After the manifest (the commit point) lands, WAL segments fully
+//! covered by the new snapshot are garbage-collected.
 //!
 //! Environment: `ITG_WAL_DIR=<dir>` enables durability from the
 //! environment (a [`crate::SessionBuilder::durability`] call wins);
-//! `ITG_CRASH_AT=<lsn>` / `ITG_CRASH_TORN=1` are the fault-injection
-//! knobs of the kill-and-recover test (see `itg_store::wal`).
+//! `ITG_WAL_SEGMENT_BYTES` / `ITG_GROUP_COMMIT_US` / `ITG_SNAPSHOT_DELTA`
+//! tune it. Fault injection for the kill-and-recover suite:
+//! `ITG_CRASH_AT=<lsn>` / `ITG_CRASH_TORN` / `ITG_CRASH_ROTATION=<n>`
+//! (see `itg_store::wal`) plus `ITG_CRASH_SNAPSHOT=<epoch>` (abort after
+//! the snapshot file is written but before the manifest commits it) and
+//! `ITG_CRASH_SNAPSHOT_TORN` (with `ITG_CRASH_SNAPSHOT=<epoch>`: move the
+//! crash to mid-snapshot-write, leaving a torn `.tmp` the next checkpoint
+//! ignores).
 
 use crate::accum::AccmLayout;
 use crate::config::EngineConfig;
@@ -32,13 +46,23 @@ use itg_gsa::value::ColumnData;
 use itg_gsa::FxHashSet;
 use itg_store::codec::{CodecError, CodecResult, Reader, Writer};
 use itg_store::snapshot::{get_column, get_value, put_column, put_value};
-use itg_store::wal::{Wal, WalEntry, WalScan};
-use itg_store::{AttrStore, Manifest, MaintenancePolicy, SnapshotEntry};
+use itg_store::wal::{crash_env_bool, crash_env_u64, Wal, WalEntry, WalScan, WalStats};
+use itg_store::{AttrStore, Manifest, MaintenancePolicy, SnapshotEntry, SnapshotKind};
 use std::path::{Path, PathBuf};
 
 /// Snapshot-payload format version (inside the checksummed
 /// [`itg_store::snapshot`] container, which carries its own magic).
+/// Unchanged by delta snapshots: a delta file stores an
+/// [`itg_store::delta`] document *inside* the same container, and
+/// composing the chain yields a version-2 payload byte-identical to a
+/// full snapshot's.
 const SESSION_SNAPSHOT_VERSION: u8 = 2;
+
+/// Upper bound on a delta-snapshot chain: once this many snapshots link
+/// back to the nearest full one, the next checkpoint writes a full image
+/// again. Bounds both recovery composition work and the number of old
+/// snapshot files a live one can depend on.
+pub const MAX_DELTA_CHAIN: usize = 8;
 
 /// Whether and where a session persists its command history.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -47,9 +71,10 @@ pub enum DurabilityKind {
     /// and the PR 3 baseline the `wal_overhead` benchmark pins).
     #[default]
     None,
-    /// Write-ahead logging into `dir` (`wal.log`, `manifest.json`, and
-    /// `snapshot-<epoch>.bin` files), with an epoch-0 snapshot written at
-    /// session creation so recovery always has a base.
+    /// Write-ahead logging into `dir` (`wal-<start_lsn>.log` segments,
+    /// `manifest.json`, and `snapshot-<epoch>.bin` /
+    /// `snapshot-<epoch>.delta.bin` files), with an epoch-0 full snapshot
+    /// written at session creation so recovery always has a base.
     Wal { dir: PathBuf },
 }
 
@@ -66,7 +91,17 @@ pub(crate) struct DurableLog {
     pub(crate) replaying: bool,
     append_ns: itg_obs::HistHandle,
     fsyncs: itg_obs::CounterHandle,
+    rotations: itg_obs::CounterHandle,
+    group_size: itg_obs::HistHandle,
+    delta_bytes: itg_obs::CounterHandle,
     replayed: itg_obs::CounterHandle,
+    /// The WAL stats already mirrored into the obs counters; each
+    /// [`DurableLog::sync_obs`] adds only the diff since this.
+    stats_seen: WalStats,
+    /// The previous snapshot's epoch and *payload* (the state image it
+    /// materializes to) — the base the next delta snapshot diffs against.
+    /// `None` until the first checkpoint, forcing it full.
+    last_snapshot: Option<(u64, Vec<u8>)>,
     enabled: bool,
 }
 
@@ -93,7 +128,12 @@ impl DurableLog {
                 replaying: false,
                 append_ns: rec.hist("wal/append_ns"),
                 fsyncs: rec.counter("wal/fsync"),
+                rotations: rec.counter("wal/rotation"),
+                group_size: rec.hist("wal/group_size"),
+                delta_bytes: rec.counter("snapshot/delta_bytes"),
                 replayed: rec.counter("recovery/replayed_records"),
+                stats_seen: WalStats::default(),
+                last_snapshot: None,
                 enabled: rec.is_enabled(),
             },
             scan,
@@ -108,16 +148,52 @@ impl DurableLog {
         }
         let t0 = self.enabled.then(std::time::Instant::now);
         self.wal.append(entry).map_err(durability_err)?;
-        self.fsyncs.add(1);
+        self.sync_obs();
         if let Some(t0) = t0 {
             self.append_ns.observe(t0.elapsed().as_nanos() as u64);
         }
         Ok(())
     }
+
+    /// Mirror the WAL's cumulative stats into the obs counters. Under
+    /// group commit an append may ride a flush another committer led, so
+    /// the counters track the appender's *stats diff*, not one fsync per
+    /// append.
+    fn sync_obs(&mut self) {
+        let now = self.wal.stats();
+        self.fsyncs.add(now.fsyncs - self.stats_seen.fsyncs);
+        self.rotations.add(now.rotations - self.stats_seen.rotations);
+        self.stats_seen = now;
+        for g in self.wal.drain_group_sizes() {
+            self.group_size.observe(g);
+        }
+    }
 }
 
 fn durability_err(e: impl std::fmt::Display) -> EngineError {
     EngineError::Durability(e.to_string())
+}
+
+/// The WAL segment set as it will stand after `gc_below(keep_from)`:
+/// leading segments are dropped while their successor's start LSN is
+/// already covered (mirrors [`Wal::gc_below`]'s loop).
+fn surviving_segments(wal: &Wal, keep_from: u64) -> Vec<String> {
+    let mut names = wal.segment_files();
+    let starts: Vec<u64> = names
+        .iter()
+        .map(|n| {
+            n.strip_prefix("wal-")
+                .and_then(|s| s.strip_suffix(".log"))
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0)
+        })
+        .collect();
+    let mut drop = 0;
+    while drop + 1 < names.len() && starts[drop + 1] <= keep_from {
+        drop += 1;
+    }
+    names.drain(..drop);
+    names
 }
 
 impl Session {
@@ -167,45 +243,108 @@ impl Session {
         }
     }
 
-    /// Write a full-state snapshot, register it in `manifest.json`, and
-    /// return its epoch. Subsequent recovery replays only WAL records
-    /// appended after this point. Errors on a session without
-    /// [`DurabilityKind::Wal`].
+    /// Write a snapshot (full, or an [`itg_store::delta`] document against
+    /// the previous one when [`crate::EngineConfig::snapshot_delta`] is on
+    /// and the chain is still shorter than [`MAX_DELTA_CHAIN`]), register
+    /// it in `manifest.json`, garbage-collect WAL segments the new
+    /// snapshot fully covers, and return its epoch. Subsequent recovery
+    /// replays only WAL records appended after this point. Errors on a
+    /// session without [`DurabilityKind::Wal`].
     pub fn checkpoint(&mut self) -> Result<SnapshotId, EngineError> {
-        let Some(d) = &self.durable else {
+        if self.durable.is_none() {
             return Err(EngineError::Unsupported(
                 "checkpoint on a session without durability (enable with \
                  SessionBuilder::durability or ITG_WAL_DIR)"
                     .into(),
             ));
         };
+        // Serialize first: `encode_state` borrows the whole session.
+        let mut w = Writer::new();
+        self.encode_state(&mut w);
+        let payload = w.buf;
+        let snapshot_delta = self.cfg.snapshot_delta;
+
+        let d = self.durable.as_mut().expect("checked above");
         let dir = d.dir.clone();
         let wal_start = d.wal.next_lsn();
         let mut manifest = Manifest::load(&dir).map_err(durability_err)?;
         let epoch = manifest.next_epoch();
-        let file = format!("snapshot-{epoch}.bin");
 
-        let mut w = Writer::new();
-        self.encode_state(&mut w);
-        itg_store::snapshot::write_file(&dir.join(&file), &w.buf)
-            .map_err(durability_err)?;
-        // Register only after the snapshot file is durably in place: a
-        // crash between the two leaves an unreferenced file, never a
-        // manifest pointing at garbage.
+        // Delta only when a base exists AND its chain is still short
+        // enough that this snapshot keeps chain length ≤ MAX_DELTA_CHAIN.
+        let base = d.last_snapshot.as_ref().filter(|(base_epoch, _)| {
+            snapshot_delta
+                && manifest
+                    .chain_for(*base_epoch)
+                    .is_ok_and(|chain| chain.len() < MAX_DELTA_CHAIN)
+        });
+        let (file, kind, bytes) = match base {
+            Some((base_epoch, base_payload)) => {
+                let doc = itg_store::delta::encode(base_payload, &payload);
+                d.delta_bytes.add(doc.len() as u64);
+                (
+                    format!("snapshot-{epoch}.delta.bin"),
+                    SnapshotKind::Delta {
+                        base_epoch: *base_epoch,
+                    },
+                    doc,
+                )
+            }
+            None => (format!("snapshot-{epoch}.bin"), SnapshotKind::Full, payload.clone()),
+        };
+
+        // Fault injection: ITG_CRASH_SNAPSHOT=<epoch> targets this
+        // checkpoint; ITG_CRASH_SNAPSHOT_TORN moves the crash to
+        // mid-snapshot-write (like ITG_CRASH_TORN does for ITG_CRASH_AT).
+        let crash_here = crash_env_u64("ITG_CRASH_SNAPSHOT") == Some(epoch);
+        if crash_here && crash_env_bool("ITG_CRASH_SNAPSHOT_TORN") {
+            // Die mid-snapshot-write: half the container lands in the
+            // `.tmp` file and no rename happens. The file is garbage the
+            // next writer overwrites; the manifest never references it.
+            let torn = dir.join(&file).with_extension("tmp");
+            let mut half = itg_store::snapshot::SNAPSHOT_MAGIC.to_le_bytes().to_vec();
+            half.extend_from_slice(&bytes[..bytes.len() / 2]);
+            let _ = std::fs::write(&torn, &half);
+            std::process::abort();
+        }
+        itg_store::snapshot::write_file(&dir.join(&file), &bytes).map_err(durability_err)?;
+        if crash_here {
+            // Die between the snapshot file write and the manifest store:
+            // the file exists but is unreferenced, so recovery uses the
+            // previous snapshot + a longer WAL suffix.
+            std::process::abort();
+        }
+        // Register only after the snapshot file is durably in place: the
+        // manifest store below is the commit point — a crash between the
+        // two leaves an unreferenced file, never a manifest pointing at
+        // garbage.
         manifest.snapshots.push(SnapshotEntry {
             epoch,
             file,
             wal_start,
+            kind,
         });
+        // Record the segments that will remain after the GC below. If we
+        // crash before the GC runs, the directory (which is authoritative)
+        // simply still holds the extra segments; the list is inventory,
+        // not the source of truth.
+        manifest.wal_segments = surviving_segments(&d.wal, wal_start);
         manifest.store(&dir).map_err(durability_err)?;
+        // Only now — with the covering snapshot durably committed — is it
+        // safe to unlink the WAL segments it supersedes.
+        d.wal.gc_below(wal_start).map_err(durability_err)?;
+        d.last_snapshot = Some((epoch, payload));
         Ok(SnapshotId(epoch))
     }
 
-    /// Rebuild a session from a durability directory: load the latest
-    /// snapshot named by `manifest.json`, then re-execute the WAL tail
-    /// (records with `lsn >= wal_start`). A torn final record is truncated;
-    /// any other WAL damage is an error. The recovered session logs into
-    /// the same directory and observes through [`itg_obs::global`].
+    /// Rebuild a session from a durability directory: materialize the
+    /// latest snapshot named by `manifest.json` (a full image, or a delta
+    /// chain composed link by link over the nearest full snapshot — each
+    /// link CRC-pinned to its exact base), then re-execute the WAL tail
+    /// (records with `lsn >= wal_start`). A torn final record is
+    /// truncated; any other WAL damage is an error. The recovered session
+    /// logs into the same directory and observes through
+    /// [`itg_obs::global`].
     pub fn recover(dir: impl AsRef<Path>) -> Result<Session, EngineError> {
         let dir = dir.as_ref();
         let manifest = Manifest::load(dir).map_err(durability_err)?;
@@ -215,8 +354,22 @@ impl Session {
                 dir.display()
             )));
         };
-        let payload = itg_store::snapshot::read_file(&dir.join(&latest.file))
-            .map_err(durability_err)?;
+        let chain = manifest.chain_for(latest.epoch).map_err(durability_err)?;
+        let mut payload: Vec<u8> = Vec::new();
+        for entry in &chain {
+            let bytes = itg_store::snapshot::read_file(&dir.join(&entry.file))
+                .map_err(durability_err)?;
+            payload = match entry.kind {
+                SnapshotKind::Full => bytes,
+                SnapshotKind::Delta { .. } => itg_store::delta::apply(&payload, &bytes)
+                    .map_err(|e| {
+                        EngineError::Durability(format!(
+                            "delta snapshot {} does not compose: {e}",
+                            entry.file
+                        ))
+                    })?,
+            };
+        }
         let mut r = Reader::new(&payload);
         let mut sess = Session::decode_state(&mut r, dir).map_err(|e| {
             EngineError::Durability(format!(
@@ -229,8 +382,13 @@ impl Session {
         })?;
 
         let wal_start = latest.wal_start;
+        let latest_epoch = latest.epoch;
         let (mut log, scan) = DurableLog::open(dir, &sess.cfg.obs)?;
         log.replaying = true;
+        // The materialized image is the base the next delta snapshot
+        // diffs against (deltas are snapshot-to-snapshot, never against
+        // post-replay state).
+        log.last_snapshot = Some((latest_epoch, payload.clone()));
         let replayed = log.replayed.clone();
         sess.durable = Some(log);
         for rec in &scan.records {
@@ -333,10 +491,10 @@ impl Session {
         w.bool(c.opts.seek_window_share);
         w.bool(c.opts.min_count);
         w.bool(c.opts.specialize);
-        // `cache_bytes` is deliberately NOT serialized: the NGW cache is
-        // semantically transparent (byte-identical results at every
-        // capacity), so a recovered session simply replays cache-cold
-        // under the recovering process's configuration.
+        // `cache_bytes` and `snapshot_delta` are deliberately NOT
+        // serialized: the NGW cache and the snapshot storage form are both
+        // semantically transparent (byte-identical state either way), so a
+        // recovered session takes the recovering process's configuration.
         w.bool(c.parallel);
         w.u64(c.threads_per_machine as u64);
 
@@ -409,6 +567,11 @@ impl Session {
             durability: DurabilityKind::Wal {
                 dir: dir.to_path_buf(),
             },
+            // Like `cache_bytes`, `snapshot_delta` is not serialized: it
+            // changes only how checkpoints are *stored*, never the state
+            // they materialize to, so the recovering process's own
+            // environment decides it.
+            snapshot_delta: EngineConfig::from_env().snapshot_delta,
             obs: itg_obs::global().clone(),
         };
 

@@ -589,6 +589,58 @@ mod tests {
     }
 
     #[test]
+    fn rejected_batch_leaves_edge_multiset_and_results_untouched() {
+        // A ServeLimits rejection must be a true no-op: the edge multiset,
+        // the backing sessions, and every later commit behave exactly as
+        // if the oversized batch had never been offered.
+        let input = GraphInput::undirected(vec![(0, 1), (1, 2)]);
+        let limits = ServeLimits {
+            max_queries: 8,
+            max_batch_edges: 2,
+            batch_budget_ms: None,
+        };
+        let mut r = QueryRegistry::new(&input, EngineConfig::default(), limits.clone());
+        let q = r.register("a", DEG).unwrap();
+        r.commit(&MutationBatch::new(vec![EdgeMutation::insert(2, 3)]))
+            .unwrap();
+        let edges_before = r.current_input().edges.clone();
+        let image_before = r.dynamic_state_image(q).unwrap();
+
+        let big = MutationBatch::new(vec![
+            EdgeMutation::insert(5, 6),
+            EdgeMutation::delete(0, 1),
+            EdgeMutation::insert(6, 7),
+        ]);
+        assert!(matches!(
+            r.commit(&big),
+            Err(RegistryError::BatchTooLarge { len: 3, max: 2 })
+        ));
+        assert_eq!(
+            r.current_input().edges,
+            edges_before,
+            "rejected batch must not touch the edge multiset"
+        );
+        assert_eq!(r.dynamic_state_image(q).unwrap(), image_before);
+
+        // Lockstep with a registry that never saw the rejection: the next
+        // in-limit commit lands on identical state.
+        let mut fresh = QueryRegistry::new(&input, EngineConfig::default(), limits);
+        let fq = fresh.register("a", DEG).unwrap();
+        fresh
+            .commit(&MutationBatch::new(vec![EdgeMutation::insert(2, 3)]))
+            .unwrap();
+        let small = MutationBatch::new(vec![EdgeMutation::insert(3, 4)]);
+        r.commit(&small).unwrap();
+        fresh.commit(&small).unwrap();
+        assert_eq!(r.epoch(), fresh.epoch());
+        assert_eq!(
+            r.dynamic_state_image(q).unwrap(),
+            fresh.dynamic_state_image(fq).unwrap(),
+            "post-rejection commit diverged from the rejection-free history"
+        );
+    }
+
+    #[test]
     fn unregister_drops_group_when_empty() {
         let mut r = reg();
         let a = r.register("a", DEG).unwrap();

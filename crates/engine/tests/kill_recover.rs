@@ -118,23 +118,32 @@ fn child_run_history() {
     }
 }
 
-fn spawn_child(dir: &Path, algo: &str, crash_at: u64, torn: bool) {
+/// Spawn the `child_run_history` entry with arbitrary fault-injection
+/// environment and assert it died mid-history.
+fn spawn_child_env(dir: &Path, algo: &str, envs: &[(&str, String)]) {
     let exe = std::env::current_exe().unwrap();
     let mut cmd = std::process::Command::new(exe);
     cmd.args(["child_run_history", "--exact", "--include-ignored", "--nocapture"])
         .env("ITG_KR_DIR", dir)
         .env("ITG_KR_ALGO", algo)
-        .env("ITG_CRASH_AT", crash_at.to_string())
         .stdout(std::process::Stdio::null())
         .stderr(std::process::Stdio::null());
-    if torn {
-        cmd.env("ITG_CRASH_TORN", "1");
+    for (k, v) in envs {
+        cmd.env(k, v);
     }
     let status = cmd.status().expect("spawn child");
     assert!(
         !status.success(),
-        "child should have died at lsn {crash_at}, but exited cleanly"
+        "child should have died at the injected fault ({envs:?}), but exited cleanly"
     );
+}
+
+fn spawn_child(dir: &Path, algo: &str, crash_at: u64, torn: bool) {
+    let mut envs = vec![("ITG_CRASH_AT", crash_at.to_string())];
+    if torn {
+        envs.push(("ITG_CRASH_TORN", "1".to_string()));
+    }
+    spawn_child_env(dir, algo, &envs);
 }
 
 fn fresh_dir(tag: &str) -> PathBuf {
@@ -146,23 +155,14 @@ fn fresh_dir(tag: &str) -> PathBuf {
     dir
 }
 
-/// The driver: kill the child at `crash_at`, recover, compare against the
-/// oracle that executed the durable prefix, then run the continuation
-/// workload on both and compare again.
-fn kill_and_recover(algo: &'static str, crash_at: u64, torn: bool) {
-    let sc = scenario(algo);
-    let (cmds, tail) = history(&sc);
-    assert!((crash_at as usize) < cmds.len(), "crash point inside history");
-    let dir = fresh_dir(&format!("{algo}-{crash_at}-{}", u8::from(torn)));
-    spawn_child(&dir, algo, crash_at, torn);
+/// Recover from `dir`, compare byte-for-byte against an oracle that
+/// executed exactly `executed` commands, then run the rest of the history
+/// plus the continuation workload on both in lockstep.
+fn verify_recovery(dir: &Path, sc: &Scenario, executed: usize, ctx: &str) {
+    let (cmds, tail) = history(sc);
+    let recovered = Session::recover(dir).unwrap();
 
-    let recovered = Session::recover(&dir).unwrap();
-
-    // The durable prefix: a clean crash fsyncs record `crash_at` before
-    // dying (command replayed on recovery); a torn crash half-writes it
-    // (record truncated, command lost).
-    let executed = if torn { crash_at } else { crash_at + 1 } as usize;
-    let mut oracle = oracle_session(&sc);
+    let mut oracle = oracle_session(sc);
     for cmd in &cmds[..executed] {
         exec(&mut oracle, cmd);
     }
@@ -170,14 +170,14 @@ fn kill_and_recover(algo: &'static str, crash_at: u64, torn: bool) {
     assert_eq!(
         recovered.state_image(),
         oracle.state_image(),
-        "{algo}: recovered state not byte-identical after crash at lsn \
-         {crash_at} (torn={torn})"
+        "{ctx}: recovered state not byte-identical to the {executed}-command \
+         oracle"
     );
-    for attr in attr_names(algo) {
+    for attr in attr_names(sc.algo) {
         assert_eq!(
             recovered.attr_column(attr).unwrap(),
             oracle.attr_column(attr).unwrap(),
-            "{algo}: attribute `{attr}` diverged"
+            "{ctx}: attribute `{attr}` diverged"
         );
     }
 
@@ -196,9 +196,30 @@ fn kill_and_recover(algo: &'static str, crash_at: u64, torn: bool) {
     assert_eq!(
         recovered.state_image(),
         oracle.state_image(),
-        "{algo}: post-recovery continuation diverged"
+        "{ctx}: post-recovery continuation diverged"
     );
+}
 
+/// The driver: kill the child at `crash_at`, recover, compare against the
+/// oracle that executed the durable prefix, then run the continuation
+/// workload on both and compare again.
+fn kill_and_recover(algo: &'static str, crash_at: u64, torn: bool) {
+    let sc = scenario(algo);
+    let (cmds, _) = history(&sc);
+    assert!((crash_at as usize) < cmds.len(), "crash point inside history");
+    let dir = fresh_dir(&format!("{algo}-{crash_at}-{}", u8::from(torn)));
+    spawn_child(&dir, algo, crash_at, torn);
+
+    // The durable prefix: a clean crash fsyncs record `crash_at` before
+    // dying (command replayed on recovery); a torn crash half-writes it
+    // (record truncated, command lost).
+    let executed = if torn { crash_at } else { crash_at + 1 } as usize;
+    verify_recovery(
+        &dir,
+        &sc,
+        executed,
+        &format!("{algo} crash at lsn {crash_at} (torn={torn})"),
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -246,5 +267,186 @@ fn recovered_session_checkpoints_again() {
     // A second recovery from the new snapshot (empty tail) matches.
     let again = Session::recover(&dir).unwrap();
     assert_eq!(recovered.state_image(), again.state_image());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------
+// PR 8 kill points: mid-group-commit, mid-rotation, mid-snapshot.
+// ---------------------------------------------------------------
+
+#[test]
+fn recover_after_crash_mid_group_commit_window() {
+    // A leader window is open (ITG_GROUP_COMMIT_US) when the crash lands:
+    // the ack contract — every acknowledged command durable, nothing
+    // acknowledged past the crash LSN — must hold exactly as without the
+    // window. (The engine's command loop is single-threaded, so the window
+    // exercises the leader-sleep path; the multi-committer partial-ack
+    // matrix lives in itg-store's group_commit suite.)
+    let sc = scenario("wcc");
+    let dir = fresh_dir("mid-window");
+    spawn_child_env(
+        &dir,
+        "wcc",
+        &[
+            ("ITG_CRASH_AT", "5".to_string()),
+            ("ITG_GROUP_COMMIT_US", "300".to_string()),
+        ],
+    );
+    verify_recovery(&dir, &sc, 6, "wcc crash inside a 300µs commit window");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recover_after_crash_mid_rotation() {
+    // Tiny segments force rotations mid-history; ITG_CRASH_ROTATION=2 dies
+    // between creating the new segment file and fsyncing its directory
+    // entry. Which LSN that is depends on record sizes, so the durable
+    // prefix is discovered from the directory itself — exactly what real
+    // recovery must do.
+    let sc = scenario("wcc");
+    let dir = fresh_dir("mid-rotation");
+    spawn_child_env(
+        &dir,
+        "wcc",
+        &[
+            ("ITG_WAL_SEGMENT_BYTES", "96".to_string()),
+            ("ITG_CRASH_ROTATION", "2".to_string()),
+        ],
+    );
+
+    let scan = itg_store::scan_dir(&dir).unwrap();
+    assert!(
+        scan.segments.len() >= 2,
+        "96-byte segments must have rotated before the crash"
+    );
+    let executed = scan.next_lsn() as usize;
+    let (cmds, _) = history(&sc);
+    assert!(
+        executed > 0 && executed < cmds.len(),
+        "rotation crash must land mid-history (durable prefix {executed} \
+         of {})",
+        cmds.len()
+    );
+    verify_recovery(
+        &dir,
+        &sc,
+        executed,
+        "wcc crash mid-rotation (new segment created, dir entry unsynced)",
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recover_after_crash_mid_delta_snapshot() {
+    // The child checkpoints after command 4; epoch 1 is a delta snapshot
+    // (epoch 0 is its base). ITG_CRASH_SNAPSHOT=1 dies after the delta
+    // file is written but before the manifest commits it: recovery must
+    // ignore the orphaned file and replay epoch 0 + the full WAL.
+    let sc = scenario("wcc");
+    let dir = fresh_dir("mid-delta-snapshot");
+    spawn_child_env(&dir, "wcc", &[("ITG_CRASH_SNAPSHOT", "1".to_string())]);
+
+    let manifest = itg_store::Manifest::load(&dir).unwrap();
+    assert_eq!(
+        manifest.latest().unwrap().epoch,
+        0,
+        "the interrupted epoch-1 snapshot must not be committed"
+    );
+    assert!(
+        dir.join("snapshot-1.delta.bin").exists(),
+        "the orphaned delta file was written before the crash"
+    );
+    // Commands 0..=4 ran (the checkpoint follows command index 4).
+    verify_recovery(&dir, &sc, 5, "wcc crash between delta write and manifest");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recover_after_torn_delta_snapshot() {
+    // Same kill point, but the delta file itself is half-written (no
+    // rename): recovery sees only a stale `.tmp` next to the manifest.
+    let sc = scenario("wcc");
+    let dir = fresh_dir("torn-delta-snapshot");
+    spawn_child_env(
+        &dir,
+        "wcc",
+        &[
+            ("ITG_CRASH_SNAPSHOT", "1".to_string()),
+            ("ITG_CRASH_SNAPSHOT_TORN", "true".to_string()),
+        ],
+    );
+
+    assert_eq!(itg_store::Manifest::load(&dir).unwrap().latest().unwrap().epoch, 0);
+    assert!(
+        !dir.join("snapshot-1.delta.bin").exists(),
+        "a torn snapshot write must never produce the final file"
+    );
+    verify_recovery(&dir, &sc, 5, "wcc crash mid-delta-snapshot-write");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn delta_chain_recovery_roundtrip() {
+    // Uninterrupted delta chain: checkpoint after every incremental run,
+    // so epochs 1..=3 are deltas chained back to the epoch-0 full base.
+    // Recovery must compose the chain byte-exactly, and each delta must be
+    // materially smaller than the full snapshot it stands in for.
+    let sc = scenario("wcc");
+    let dir = fresh_dir("delta-chain");
+    let mut live = durable_session(&sc, &dir);
+    let (cmds, _) = history(&sc);
+    for cmd in &cmds {
+        exec(&mut live, cmd);
+        if matches!(cmd, Cmd::Incremental) {
+            live.checkpoint().unwrap();
+        }
+    }
+    let live_image = live.state_image();
+    drop(live); // release the WAL before a second session opens the dir
+
+    let manifest = itg_store::Manifest::load(&dir).unwrap();
+    assert_eq!(manifest.snapshots.len(), 4, "epoch 0 + three checkpoints");
+    assert!(matches!(manifest.snapshots[0].kind, itg_store::SnapshotKind::Full));
+    // Compose each epoch's full-equivalent payload and compare it to the
+    // bytes actually stored. Epoch 1 rewrites most of the state (epoch 0
+    // predates the one-shot run, so arrays and history appear wholesale);
+    // epochs 2 and 3 are the steady state the delta encoder exists for —
+    // one batch + incremental run apart — and must shrink checkpoint
+    // bytes by at least 2×.
+    let mut payload = itg_store::snapshot::read_file(&dir.join(&manifest.snapshots[0].file))
+        .unwrap();
+    for entry in &manifest.snapshots[1..] {
+        assert!(
+            matches!(entry.kind, itg_store::SnapshotKind::Delta { .. }),
+            "epoch {} should be a delta",
+            entry.epoch
+        );
+        let doc = itg_store::snapshot::read_file(&dir.join(&entry.file)).unwrap();
+        payload = itg_store::delta::apply(&payload, &doc).unwrap();
+        let (stored, full_equiv) = (doc.len(), payload.len());
+        println!("epoch {}: delta {stored} B vs full {full_equiv} B", entry.epoch);
+        if entry.epoch >= 2 {
+            assert!(
+                stored * 2 < full_equiv,
+                "steady-state delta epoch {} ({stored} B) should be well \
+                 under a full snapshot ({full_equiv} B)",
+                entry.epoch
+            );
+        }
+    }
+    assert_eq!(
+        manifest.chain_for(3).unwrap().len(),
+        4,
+        "epoch 3 resolves through 2 and 1 to the full base"
+    );
+
+    let recovered = Session::recover(&dir).unwrap();
+    assert_eq!(
+        recovered.state_image(),
+        live_image,
+        "chain-composed recovery not byte-identical to the live session"
+    );
+    // And the full oracle comparison plus continuation workload.
+    verify_recovery(&dir, &sc, cmds.len(), "uninterrupted delta chain");
     let _ = std::fs::remove_dir_all(&dir);
 }

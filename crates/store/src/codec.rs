@@ -223,6 +223,12 @@ impl<'a> Reader<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::Utf8)
     }
 
+    /// Borrow the next `n` raw bytes (for bulk payloads like the delta
+    /// codec's literal runs).
+    pub fn bytes(&mut self, n: usize) -> CodecResult<&'a [u8]> {
+        self.take(n)
+    }
+
     /// Assert the payload has been fully consumed.
     pub fn finish(&self) -> CodecResult<()> {
         if self.remaining() != 0 {

@@ -595,6 +595,13 @@ impl EdgeStore {
     /// through the single ingestion choke point. The batch is consolidated
     /// first: same-edge insert/delete pairs within one batch cancel.
     /// Returns the receipt binding the new epoch to this commit's LSN.
+    ///
+    /// Durability ordering: a durable session logs the batch to the WAL
+    /// *before* calling this (log-before-execute), and under group commit
+    /// the [`crate::wal::Wal::append`] only returns once the record —
+    /// possibly sharing an fsync with concurrent committers — is durable.
+    /// The `BatchReceipt { epoch, lsn }` contract is unchanged: an
+    /// acknowledged receipt's LSN is always recoverable.
     pub fn commit(&mut self, batch: &MutationBatch) -> BatchReceipt {
         let batch = batch.consolidated();
         let receipt = self.out.commit(&batch);

@@ -1,0 +1,26 @@
+//! Filesystem durability helpers shared by the WAL, snapshot, and
+//! manifest writers.
+
+use std::path::Path;
+
+/// Fsync a directory, making recently created, renamed, or unlinked
+/// entries in it durable. POSIX only guarantees that *file contents*
+/// survive a crash after `fsync(fd)`; the directory entry that names the
+/// file needs its own fsync, or a crash can roll the rename/create/unlink
+/// back and resurrect the previous directory state. Every atomic
+/// tmp+rename writer in this crate (manifest, snapshot) and every WAL
+/// segment creation/removal must call this afterwards.
+///
+/// On non-Unix platforms directory handles cannot be synced; rename
+/// atomicity is the best available guarantee there.
+pub fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        std::fs::File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+        Ok(())
+    }
+}

@@ -19,13 +19,20 @@
 //!
 //! - [`codec`]: the little-endian byte codec shared by WAL records and
 //!   snapshot payloads, plus the CRC-32 used to detect torn/corrupt frames.
-//! - [`wal`]: the append-only write-ahead log of engine commands.
+//! - [`wal`]: the segmented, group-committing write-ahead log of engine
+//!   commands (`wal-<start_lsn>.log` segments, rotation + GC).
 //! - [`snapshot`]: the checksummed snapshot file container and value codecs.
-//! - [`manifest`]: `manifest.json`, binding snapshot epochs to the WAL LSN
-//!   range each snapshot covers.
+//! - [`delta`]: the rsync-style binary diff backing incremental (delta-only)
+//!   snapshots.
+//! - [`manifest`]: `manifest.json`, binding snapshot epochs (full or delta)
+//!   to the WAL LSN range each snapshot covers. The manifest write is the
+//!   checkpoint commit point.
+//! - [`fsutil`]: directory-fsync helper shared by the atomic writers.
 
 pub mod codec;
+pub mod delta;
 pub mod edge_store;
+pub mod fsutil;
 pub mod maintenance;
 pub mod manifest;
 pub mod mutation;
@@ -38,10 +45,13 @@ pub mod wal;
 pub use codec::{crc32, CodecError, CodecResult, Reader, Writer};
 pub use edge_store::{BatchReceipt, CsrSegment, DeltaSegment, EdgeStore, EdgeStoreDir, View};
 pub use maintenance::{ChainSummary, MaintenancePolicy};
-pub use manifest::{Manifest, ManifestError, SnapshotEntry, MANIFEST_FILE};
+pub use manifest::{Manifest, ManifestError, SnapshotEntry, SnapshotKind, MANIFEST_FILE};
 pub use mutation::{EdgeMutation, MutationBatch};
 pub use pager::{BufferPool, PageId, DEFAULT_PAGE_SIZE};
 pub use snapshot::SnapshotError;
 pub use stats::{IoSnapshot, IoStats};
 pub use vertex_store::{AttrStore, Run, WindowBase};
-pub use wal::{Wal, WalEntry, WalError, WalRecord, WalScan, WAL_FILE};
+pub use wal::{
+    scan_dir, segment_file_name, SegmentInfo, Wal, WalEntry, WalError, WalOptions, WalRecord,
+    WalScan, WalStats, WAL_FILE,
+};

@@ -7,15 +7,31 @@
 //! the binary codec. The build is offline and vendors no JSON crate; the
 //! emitter and the (schema-restricted) recursive-descent parser below are
 //! hand-rolled. Updates are atomic: write `manifest.json.tmp`, fsync,
-//! rename over the old file — a crash mid-checkpoint leaves the previous
-//! manifest intact and the half-written snapshot unreferenced.
+//! rename over the old file, fsync the directory — a crash mid-checkpoint
+//! leaves the previous manifest intact and the half-written snapshot
+//! unreferenced. The manifest rename is the checkpoint *commit point*
+//! (see [`Manifest::store`]).
 
+use crate::fsutil::sync_dir;
 use std::path::{Path, PathBuf};
 
-/// Manifest schema version.
+/// Manifest schema version. Still 1: delta-snapshot fields are additive
+/// (`kind`/`base_epoch` are optional on read and omitted for full
+/// snapshots), so PR 4 manifests parse unchanged.
 pub const MANIFEST_VERSION: u64 = 1;
 /// The manifest file name inside a durability directory.
 pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// How a snapshot file encodes the state image.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SnapshotKind {
+    /// The file holds the complete state image.
+    #[default]
+    Full,
+    /// The file holds a [`crate::delta`] document against the snapshot at
+    /// `base_epoch`; recovery composes the chain back to a full snapshot.
+    Delta { base_epoch: u64 },
+}
 
 /// One snapshot registration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,12 +43,20 @@ pub struct SnapshotEntry {
     /// First WAL LSN *not* covered by this snapshot: recovery replays
     /// records with `lsn >= wal_start`.
     pub wal_start: u64,
+    /// Full image or delta against an earlier epoch.
+    pub kind: SnapshotKind,
 }
 
 /// The parsed manifest: every registered snapshot, oldest first.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Manifest {
     pub snapshots: Vec<SnapshotEntry>,
+    /// Live WAL segment file names at the last checkpoint, oldest first.
+    /// Informational: recovery scans the directory (which is authoritative
+    /// — segments rotate and GC between checkpoints without a manifest
+    /// write), but the list makes `manifest.json` a complete human-readable
+    /// inventory of the durability directory.
+    pub wal_segments: Vec<String>,
 }
 
 /// Manifest failures.
@@ -74,7 +98,49 @@ impl Manifest {
         self.latest().map_or(0, |s| s.epoch + 1)
     }
 
-    /// Serialize to the manifest JSON document.
+    /// The entry for `epoch`, if registered.
+    pub fn entry(&self, epoch: u64) -> Option<&SnapshotEntry> {
+        self.snapshots.iter().find(|s| s.epoch == epoch)
+    }
+
+    /// The snapshot chain needed to materialize `epoch`: a full snapshot
+    /// first, then every delta in application order, ending at `epoch`.
+    /// Fails if a link is missing, a base is not older than its
+    /// dependent, or the chain is longer than the snapshot list (a cycle).
+    pub fn chain_for(&self, epoch: u64) -> Result<Vec<&SnapshotEntry>, ManifestError> {
+        let mut chain = Vec::new();
+        let mut at = epoch;
+        loop {
+            if chain.len() > self.snapshots.len() {
+                return Err(ManifestError::Parse(format!(
+                    "snapshot chain for epoch {epoch} does not terminate"
+                )));
+            }
+            let entry = self.entry(at).ok_or_else(|| {
+                ManifestError::Parse(format!(
+                    "snapshot chain for epoch {epoch} is missing epoch {at}"
+                ))
+            })?;
+            chain.push(entry);
+            match entry.kind {
+                SnapshotKind::Full => break,
+                SnapshotKind::Delta { base_epoch } => {
+                    if base_epoch >= at {
+                        return Err(ManifestError::Parse(format!(
+                            "delta snapshot {at} has non-decreasing base {base_epoch}"
+                        )));
+                    }
+                    at = base_epoch;
+                }
+            }
+        }
+        chain.reverse();
+        Ok(chain)
+    }
+
+    /// Serialize to the manifest JSON document. Full snapshots omit the
+    /// `kind` field so PR 4 documents and new full-only documents are
+    /// identical.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"format_version\": {MANIFEST_VERSION},\n"));
@@ -83,15 +149,29 @@ impl Manifest {
             if i > 0 {
                 out.push(',');
             }
+            let kind = match s.kind {
+                SnapshotKind::Full => String::new(),
+                SnapshotKind::Delta { base_epoch } => {
+                    format!(", \"kind\": \"delta\", \"base_epoch\": {base_epoch}")
+                }
+            };
             out.push_str(&format!(
-                "\n    {{\"epoch\": {}, \"file\": \"{}\", \"wal_start\": {}}}",
+                "\n    {{\"epoch\": {}, \"file\": \"{}\", \"wal_start\": {}{}}}",
                 s.epoch,
                 escape_json(&s.file),
-                s.wal_start
+                s.wal_start,
+                kind
             ));
         }
         if !self.snapshots.is_empty() {
             out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"wal_segments\": [");
+        for (i, seg) in self.wal_segments.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\"", escape_json(seg)));
         }
         out.push_str("]\n}\n");
         out
@@ -109,11 +189,35 @@ impl Manifest {
         if let Some((_, list)) = obj.iter().find(|(k, _)| k == "snapshots") {
             for item in list.as_array("snapshots")? {
                 let s = item.as_object("snapshot entry")?;
+                let epoch = field(s, "epoch")?.as_u64("epoch")?;
+                // `kind` is optional (absent = full) so PR 4 manifests
+                // parse unchanged.
+                let kind = match opt_field(s, "kind") {
+                    None => SnapshotKind::Full,
+                    Some(k) => match k.as_str("kind")? {
+                        "full" => SnapshotKind::Full,
+                        "delta" => SnapshotKind::Delta {
+                            base_epoch: field(s, "base_epoch")?.as_u64("base_epoch")?,
+                        },
+                        other => {
+                            return Err(ManifestError::Parse(format!(
+                                "unknown snapshot kind `{other}`"
+                            )))
+                        }
+                    },
+                };
                 snapshots.push(SnapshotEntry {
-                    epoch: field(s, "epoch")?.as_u64("epoch")?,
+                    epoch,
                     file: field(s, "file")?.as_str("file")?.to_string(),
                     wal_start: field(s, "wal_start")?.as_u64("wal_start")?,
+                    kind,
                 });
+            }
+        }
+        let mut wal_segments = Vec::new();
+        if let Some((_, list)) = obj.iter().find(|(k, _)| k == "wal_segments") {
+            for item in list.as_array("wal_segments")? {
+                wal_segments.push(item.as_str("wal segment")?.to_string());
             }
         }
         for pair in snapshots.windows(2) {
@@ -121,7 +225,10 @@ impl Manifest {
                 return Err(ManifestError::Parse("epochs not increasing".into()));
             }
         }
-        Ok(Manifest { snapshots })
+        Ok(Manifest {
+            snapshots,
+            wal_segments,
+        })
     }
 
     /// Load `dir/manifest.json`; an absent file is an empty manifest.
@@ -133,7 +240,16 @@ impl Manifest {
         }
     }
 
-    /// Atomically write `dir/manifest.json` (tmp + fsync + rename).
+    /// Atomically write `dir/manifest.json` (tmp + fsync + rename +
+    /// directory fsync).
+    ///
+    /// Invariant: **the manifest rename is the checkpoint commit point.**
+    /// A snapshot file exists-but-unreferenced until the manifest naming
+    /// it is durably in place, and WAL segments may only be GC'd after
+    /// the covering manifest is durable. The rename alone is not enough —
+    /// POSIX makes file *contents* durable on fsync(file), but the
+    /// directory entry produced by the rename needs its own fsync, or a
+    /// crash can roll the directory back to the previous manifest.
     pub fn store(&self, dir: &Path) -> Result<(), ManifestError> {
         let tmp: PathBuf = dir.join(format!("{MANIFEST_FILE}.tmp"));
         {
@@ -142,6 +258,7 @@ impl Manifest {
             f.sync_data()?;
         }
         std::fs::rename(&tmp, dir.join(MANIFEST_FILE))?;
+        sync_dir(dir)?;
         Ok(())
     }
 }
@@ -177,11 +294,12 @@ enum Json {
 
 /// Look up a required key in an object's field list.
 fn field<'v>(fields: &'v [(String, Json)], key: &str) -> Result<&'v Json, ManifestError> {
-    fields
-        .iter()
-        .find(|(k, _)| k == key)
-        .map(|(_, v)| v)
-        .ok_or_else(|| ManifestError::Parse(format!("missing {key}")))
+    opt_field(fields, key).ok_or_else(|| ManifestError::Parse(format!("missing {key}")))
+}
+
+/// Look up an optional key in an object's field list.
+fn opt_field<'v>(fields: &'v [(String, Json)], key: &str) -> Option<&'v Json> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
 }
 
 impl Json {
@@ -409,17 +527,59 @@ mod tests {
                     epoch: 0,
                     file: "snapshot-0000000000.snap".into(),
                     wal_start: 0,
+                    kind: SnapshotKind::Full,
                 },
                 SnapshotEntry {
                     epoch: 1,
                     file: "snapshot-0000000001.snap".into(),
                     wal_start: 7,
+                    kind: SnapshotKind::Delta { base_epoch: 0 },
                 },
             ],
+            wal_segments: vec!["wal-00000000000000000007.log".into()],
         };
         assert_eq!(Manifest::from_json(&m.to_json()).unwrap(), m);
         assert_eq!(m.next_epoch(), 2);
         assert_eq!(m.latest().unwrap().wal_start, 7);
+    }
+
+    #[test]
+    fn pr4_documents_without_kind_or_segments_still_parse() {
+        let legacy = "{\"format_version\": 1, \"snapshots\": [\
+                      {\"epoch\": 0, \"file\": \"snapshot-0.bin\", \"wal_start\": 0}]}";
+        let m = Manifest::from_json(legacy).unwrap();
+        assert_eq!(m.snapshots[0].kind, SnapshotKind::Full);
+        assert!(m.wal_segments.is_empty());
+    }
+
+    #[test]
+    fn chain_for_walks_delta_links_to_the_full_base() {
+        let entry = |epoch, kind| SnapshotEntry {
+            epoch,
+            file: format!("s{epoch}"),
+            wal_start: epoch,
+            kind,
+        };
+        let m = Manifest {
+            snapshots: vec![
+                entry(0, SnapshotKind::Full),
+                entry(1, SnapshotKind::Delta { base_epoch: 0 }),
+                entry(2, SnapshotKind::Delta { base_epoch: 1 }),
+                entry(3, SnapshotKind::Full),
+            ],
+            wal_segments: Vec::new(),
+        };
+        let chain: Vec<u64> = m.chain_for(2).unwrap().iter().map(|s| s.epoch).collect();
+        assert_eq!(chain, vec![0, 1, 2]);
+        let chain: Vec<u64> = m.chain_for(3).unwrap().iter().map(|s| s.epoch).collect();
+        assert_eq!(chain, vec![3]);
+        assert!(m.chain_for(9).is_err(), "unknown epoch");
+        // A delta whose base is missing fails loudly.
+        let broken = Manifest {
+            snapshots: vec![entry(2, SnapshotKind::Delta { base_epoch: 1 })],
+            wal_segments: Vec::new(),
+        };
+        assert!(broken.chain_for(2).is_err());
     }
 
     #[test]
@@ -442,7 +602,9 @@ mod tests {
                 epoch: 0,
                 file: "we\"ird\\name\n".into(),
                 wal_start: 3,
+                kind: SnapshotKind::Full,
             }],
+            wal_segments: vec!["al\tso \"odd\"".into()],
         };
         assert_eq!(Manifest::from_json(&m.to_json()).unwrap(), m);
     }
@@ -458,7 +620,9 @@ mod tests {
                 epoch: 0,
                 file: "s0".into(),
                 wal_start: 0,
+                kind: SnapshotKind::Full,
             }],
+            wal_segments: vec!["wal-00000000000000000000.log".into()],
         };
         m.store(&dir).unwrap();
         assert_eq!(Manifest::load(&dir).unwrap(), m);

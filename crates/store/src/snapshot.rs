@@ -63,7 +63,14 @@ impl From<CodecError> for SnapshotError {
 }
 
 /// Atomically write a snapshot payload to `path` (container framing, tmp
-/// file, fsync, rename).
+/// file, fsync, rename, directory fsync).
+///
+/// The directory fsync matters: fsync(file) makes the *contents* durable,
+/// but the rename's directory entry needs its own fsync or a crash can
+/// lose the file. The manifest naming this snapshot is the checkpoint
+/// commit point (see [`crate::manifest::Manifest::store`]) and is written
+/// only after this returns, so the entry it references must already be
+/// crash-proof.
 pub fn write_file(path: &Path, payload: &[u8]) -> Result<(), SnapshotError> {
     let tmp = path.with_extension("tmp");
     {
@@ -76,6 +83,9 @@ pub fn write_file(path: &Path, payload: &[u8]) -> Result<(), SnapshotError> {
         f.sync_data()?;
     }
     std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        crate::fsutil::sync_dir(dir)?;
+    }
     Ok(())
 }
 

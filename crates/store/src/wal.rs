@@ -1,11 +1,12 @@
-//! Write-ahead log for the mutation stream (ROADMAP item 2).
+//! Segmented, group-committing write-ahead log for the mutation stream
+//! (ROADMAP item 2, DESIGN.md §9).
 //!
 //! Durable incremental sessions log every state-changing command *before*
 //! executing it; because the engine's runs are deterministic given the
 //! stores and the command sequence, replaying the log over the latest
-//! snapshot reconstructs the exact pre-crash state (see DESIGN.md §9).
+//! snapshot reconstructs the exact pre-crash state.
 //!
-//! Record frame on disk (all little-endian):
+//! ## Record frame (all little-endian)
 //!
 //! ```text
 //! [len: u32]  [magic: u16 = 0xA17C]  [ver: u8 = 1]  [tag: u8]  [lsn: u64]  [body…]  [crc: u32]
@@ -14,21 +15,58 @@
 //!
 //! `crc` is [`crate::codec::crc32`] over the payload. The reader tolerates
 //! exactly one failure shape without complaint: a *torn tail*, i.e. the
-//! file ends mid-frame because the process died inside a write. Everything
-//! else — bad magic, bad version, a CRC mismatch on a complete frame, a
-//! non-consecutive LSN — is corruption and fails loudly.
+//! newest segment ends mid-frame because the process died inside a write.
+//! Everything else — bad magic, bad version, a CRC mismatch on a complete
+//! frame, a non-consecutive LSN, a torn frame in any *older* segment — is
+//! corruption and fails loudly.
 //!
-//! Fault injection for the kill-and-recover test: `ITG_CRASH_AT=<lsn>`
-//! aborts the process immediately after record `lsn` is durably written
-//! (fsync included); with `ITG_CRASH_TORN=1` the record is instead written
+//! ## Segments
+//!
+//! The log is a sequence of size-bounded segment files named
+//! `wal-<start_lsn:020>.log` (`ITG_WAL_SEGMENT_BYTES` bounds each one).
+//! Rotation happens inside a flush: the live segment is fsynced, the new
+//! segment file is created, and the directory entry is fsynced before any
+//! record lands in it — a crash at any intermediate point leaves at worst
+//! an empty (or unlinked) trailing segment, which recovery tolerates.
+//! Once a snapshot covers a prefix of the log, [`Wal::gc_below`] unlinks
+//! every segment whose records all precede the snapshot's `wal_start`.
+//! The pre-segmentation single-file layout (`wal.log`) is migrated on open
+//! by renaming it to the segment starting at LSN 0.
+//!
+//! ## Group commit
+//!
+//! [`Wal::append`] is `&self` and thread-safe: concurrent committers
+//! enqueue encoded frames under a mutex, and one of them becomes the
+//! *flush leader*, writing and fsyncing the whole queue in a single
+//! `sync_data`. Committers whose records ride along simply wait on a
+//! condvar until the leader reports their LSN durable — one fsync
+//! amortized over the group. `ITG_GROUP_COMMIT_US` optionally makes the
+//! leader linger before flushing so more committers can join; the default
+//! of 0 adds no latency and still batches everything that queued while the
+//! previous flush was in flight. An append returns only after its record
+//! is durable, so the ack rule is unchanged from fsync-per-append:
+//! acknowledged ⇒ recoverable, and recovery may additionally include a
+//! durable-but-unacknowledged suffix of the final group (the crash matrix
+//! in `kill_recover.rs` pins both directions).
+//!
+//! ## Fault injection
+//!
+//! For the kill-and-recover suite: `ITG_CRASH_AT=<lsn>` aborts the process
+//! immediately after record `lsn` is durably written (fsync included);
+//! with `ITG_CRASH_TORN=1` (or `true`) the record is instead written
 //! *partially* (about half its bytes) before the abort, leaving a torn
-//! tail for recovery to skip.
+//! tail for recovery to skip. `ITG_CRASH_ROTATION=<n>` aborts mid-way
+//! through the `n`-th segment rotation (new file created, directory entry
+//! not yet fsynced). Unparseable values panic loudly — a typo that
+//! silently disabled the crash would make the suite vacuous.
 
 use crate::codec::{crc32, CodecError, Reader, Writer};
+use crate::fsutil::sync_dir;
 use crate::mutation::MutationBatch;
 use std::fs::{File, OpenOptions};
 use std::io::{Read as _, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// WAL record magic: the first two payload bytes of every record.
 pub const WAL_MAGIC: u16 = 0xA17C;
@@ -37,17 +75,134 @@ pub const WAL_VERSION: u8 = 1;
 /// Upper bound on a single record's payload, as a corruption guard.
 pub const MAX_RECORD_BYTES: u32 = 1 << 30;
 
-/// The WAL file name inside a durability directory.
+/// The legacy (PR 4) single-file WAL name; migrated to the segment
+/// starting at LSN 0 on open.
 pub const WAL_FILE: &str = "wal.log";
 
+/// Default [`WalOptions::segment_bytes`].
+pub const DEFAULT_SEGMENT_BYTES: u64 = 8 << 20;
+
+/// The file name of the segment whose first record carries `start_lsn`.
+/// Zero-padded so lexicographic order is LSN order.
+pub fn segment_file_name(start_lsn: u64) -> String {
+    format!("wal-{start_lsn:020}.log")
+}
+
+/// Inverse of [`segment_file_name`]; `None` for non-segment names.
+fn parse_segment_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    if digits.len() != 20 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Appender tuning; see the module docs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalOptions {
+    /// Rotate to a new segment once the live one holds at least this many
+    /// bytes (`ITG_WAL_SEGMENT_BYTES`). A single record larger than the
+    /// bound gets a segment to itself.
+    pub segment_bytes: u64,
+    /// Group-commit window in microseconds (`ITG_GROUP_COMMIT_US`): how
+    /// long a flush leader lingers before the shared fsync so more
+    /// committers can join the group. 0 (the default) adds no latency and
+    /// still batches whatever queued during the previous flush.
+    pub group_commit_us: u64,
+}
+
+impl Default for WalOptions {
+    fn default() -> WalOptions {
+        WalOptions {
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            group_commit_us: 0,
+        }
+    }
+}
+
+impl WalOptions {
+    /// Options seeded from the environment (`ITG_WAL_SEGMENT_BYTES`,
+    /// `ITG_GROUP_COMMIT_US`). These are tuning knobs, so — like the
+    /// `EngineConfig` env knobs — garbage values fall back to the default
+    /// rather than panicking.
+    pub fn from_env() -> WalOptions {
+        WalOptions::from_env_lookup(|k| std::env::var(k).ok())
+    }
+
+    /// [`WalOptions::from_env`] with an injectable lookup (testable
+    /// without process-global environment mutation).
+    pub fn from_env_lookup(get: impl Fn(&str) -> Option<String>) -> WalOptions {
+        let mut o = WalOptions::default();
+        if let Some(n) = get("ITG_WAL_SEGMENT_BYTES").and_then(|v| v.trim().parse().ok()) {
+            o.segment_bytes = n;
+        }
+        if let Some(n) = get("ITG_GROUP_COMMIT_US").and_then(|v| v.trim().parse().ok()) {
+            o.group_commit_us = n;
+        }
+        o
+    }
+}
+
+/// Parse a fault-injection integer knob. Unlike tuning knobs, an
+/// unparseable value panics: a typo that silently disabled the crash
+/// would make the kill-and-recover suite vacuous.
+pub fn crash_env_u64(key: &str) -> Option<u64> {
+    let v = std::env::var(key).ok()?;
+    let t = v.trim();
+    if t.is_empty() {
+        return None;
+    }
+    match t.parse::<u64>() {
+        Ok(n) => Some(n),
+        Err(_) => panic!("{key} must be an unsigned integer, got `{v}`"),
+    }
+}
+
+/// Parse a fault-injection boolean knob: `1`/`true` are on, `0`/`false`
+/// (or unset/empty) are off, anything else panics loudly.
+pub fn crash_env_bool(key: &str) -> bool {
+    let Ok(v) = std::env::var(key) else {
+        return false;
+    };
+    match v.trim().to_ascii_lowercase().as_str() {
+        "" | "0" | "false" => false,
+        "1" | "true" => true,
+        _ => panic!("{key} must be 1/true or 0/false, got `{v}`"),
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct CrashPlan {
+    at: Option<u64>,
+    torn: bool,
+    at_rotation: Option<u64>,
+}
+
+impl CrashPlan {
+    fn from_env() -> CrashPlan {
+        CrashPlan {
+            at: crash_env_u64("ITG_CRASH_AT"),
+            torn: crash_env_bool("ITG_CRASH_TORN"),
+            at_rotation: crash_env_u64("ITG_CRASH_ROTATION"),
+        }
+    }
+}
+
 /// WAL failures: IO from the filesystem layer, corruption from the byte
-/// layer.
+/// layer, structural damage to the segment sequence, or a previous flush
+/// failure poisoning the appender.
 #[derive(Debug)]
 pub enum WalError {
     Io(std::io::Error),
     Corrupt(CodecError),
     /// Records must carry consecutive LSNs; a gap means a lost write.
     LsnGap { expected: u64, found: u64 },
+    /// The segment sequence itself is damaged (duplicate/misnamed start,
+    /// torn frame in a non-final segment, …).
+    Segment(String),
+    /// A previous group flush hit an IO error; the appender refuses
+    /// further work because the durable frontier is unknown.
+    Poisoned(String),
 }
 
 impl std::fmt::Display for WalError {
@@ -58,6 +213,8 @@ impl std::fmt::Display for WalError {
             WalError::LsnGap { expected, found } => {
                 write!(f, "wal lsn gap: expected {expected}, found {found}")
             }
+            WalError::Segment(m) => write!(f, "wal segment error: {m}"),
+            WalError::Poisoned(m) => write!(f, "wal poisoned by earlier flush failure: {m}"),
         }
     }
 }
@@ -161,45 +318,53 @@ pub fn decode_payload(payload: &[u8]) -> Result<WalRecord, CodecError> {
     Ok(WalRecord { lsn, entry })
 }
 
-/// The result of scanning a WAL file.
+/// One discovered segment, oldest first in [`WalScan::segments`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentInfo {
+    /// First LSN this segment holds (also encoded in its file name).
+    pub start_lsn: u64,
+    /// File name relative to the WAL directory.
+    pub file: String,
+    /// Valid frame bytes (excluding any torn tail).
+    pub bytes: u64,
+    /// Number of complete records.
+    pub records: u64,
+}
+
+/// The result of scanning a WAL directory (or a single in-memory image).
 #[derive(Debug)]
 pub struct WalScan {
     /// All complete, CRC-valid records in LSN order.
     pub records: Vec<WalRecord>,
-    /// Byte length of the valid prefix (everything after it is torn).
+    /// The LSN the first scanned record must carry — > 0 once GC has
+    /// retired segments whose history a snapshot covers.
+    pub base_lsn: u64,
+    /// Byte length of the *newest* segment's valid prefix (everything
+    /// after it is torn).
     pub valid_bytes: u64,
     /// Whether a torn final record was skipped.
     pub torn_tail: bool,
+    /// Discovered segments, oldest first (empty for a fresh directory or
+    /// an in-memory scan).
+    pub segments: Vec<SegmentInfo>,
 }
 
 impl WalScan {
     /// The next LSN an appender should use.
     pub fn next_lsn(&self) -> u64 {
-        self.records.last().map_or(0, |r| r.lsn + 1)
+        self.records.last().map_or(self.base_lsn, |r| r.lsn + 1)
     }
 }
 
-/// Scan a WAL file, validating every frame. A torn final record (the file
-/// ends mid-frame) is tolerated and reported; a CRC mismatch or header
-/// error on a *complete* frame is corruption.
-pub fn scan(path: &Path) -> Result<WalScan, WalError> {
-    let mut bytes = Vec::new();
-    match File::open(path) {
-        Ok(mut f) => {
-            f.read_to_end(&mut bytes)?;
-        }
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-        Err(e) => return Err(e.into()),
-    }
-    scan_bytes(&bytes)
-}
-
-/// [`scan`] over an in-memory image (the testable core).
-pub fn scan_bytes(bytes: &[u8]) -> Result<WalScan, WalError> {
+/// Scan one segment image whose first record must carry `expected_lsn`.
+/// Returns `(records, valid_bytes, torn_tail)`.
+fn scan_segment(
+    bytes: &[u8],
+    mut expected_lsn: u64,
+) -> Result<(Vec<WalRecord>, u64, bool), WalError> {
     let mut records = Vec::new();
     let mut pos = 0usize;
     let mut torn_tail = false;
-    let mut expected_lsn = 0u64;
     while pos < bytes.len() {
         let rest = &bytes[pos..];
         if rest.len() < 4 {
@@ -237,94 +402,430 @@ pub fn scan_bytes(bytes: &[u8]) -> Result<WalScan, WalError> {
         records.push(rec);
         pos += frame_len;
     }
+    Ok((records, pos as u64, torn_tail))
+}
+
+/// Scan a single in-memory log image starting at LSN 0 (the testable
+/// core; the property tests drive it directly).
+pub fn scan_bytes(bytes: &[u8]) -> Result<WalScan, WalError> {
+    let (records, valid_bytes, torn_tail) = scan_segment(bytes, 0)?;
     Ok(WalScan {
         records,
-        valid_bytes: pos as u64,
+        base_lsn: 0,
+        valid_bytes,
         torn_tail,
+        segments: Vec::new(),
     })
 }
 
-/// Appender handle: owns the open file and the next LSN.
-pub struct Wal {
-    file: File,
-    path: PathBuf,
+/// List the segment files in `dir`, oldest first. The legacy single-file
+/// `wal.log` (not yet migrated by [`Wal::open`]) is reported as the
+/// segment starting at LSN 0.
+fn list_segments(dir: &Path) -> Result<Vec<(u64, String)>, WalError> {
+    let mut segs: Vec<(u64, String)> = Vec::new();
+    match std::fs::read_dir(dir) {
+        Ok(rd) => {
+            for e in rd {
+                let name = e?.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if let Some(start) = parse_segment_name(name) {
+                    segs.push((start, name.to_string()));
+                }
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e.into()),
+    }
+    if dir.join(WAL_FILE).exists() {
+        if segs.iter().any(|(s, _)| *s == 0) {
+            return Err(WalError::Segment(format!(
+                "both the legacy {WAL_FILE} and {} exist",
+                segment_file_name(0)
+            )));
+        }
+        segs.push((0, WAL_FILE.to_string()));
+    }
+    segs.sort();
+    for pair in segs.windows(2) {
+        if pair[0].0 == pair[1].0 {
+            return Err(WalError::Segment(format!(
+                "segments {} and {} share start LSN {}",
+                pair[0].1, pair[1].1, pair[0].0
+            )));
+        }
+    }
+    Ok(segs)
+}
+
+/// Scan every segment in a WAL directory, validating cross-segment LSN
+/// continuity. A torn tail is tolerated only in the newest segment; a
+/// torn frame in any older segment is corruption.
+pub fn scan_dir(dir: &Path) -> Result<WalScan, WalError> {
+    let segs = list_segments(dir)?;
+    let base_lsn = segs.first().map_or(0, |(s, _)| *s);
+    let mut records = Vec::new();
+    let mut segments = Vec::new();
+    let mut expected = base_lsn;
+    let mut valid_bytes = 0u64;
+    let mut torn_tail = false;
+    let last_idx = segs.len().saturating_sub(1);
+    for (i, (start, name)) in segs.iter().enumerate() {
+        if *start != expected {
+            return Err(WalError::Segment(format!(
+                "segment {name} starts at LSN {start}, expected {expected}"
+            )));
+        }
+        let mut bytes = Vec::new();
+        File::open(dir.join(name))?.read_to_end(&mut bytes)?;
+        let (recs, valid, torn) = scan_segment(&bytes, expected)?;
+        if torn && i != last_idx {
+            return Err(WalError::Segment(format!(
+                "torn frame inside non-final segment {name}"
+            )));
+        }
+        expected += recs.len() as u64;
+        segments.push(SegmentInfo {
+            start_lsn: *start,
+            file: name.clone(),
+            bytes: valid,
+            records: recs.len() as u64,
+        });
+        records.extend(recs);
+        if i == last_idx {
+            valid_bytes = valid;
+            torn_tail = torn;
+        }
+    }
+    Ok(WalScan {
+        records,
+        base_lsn,
+        valid_bytes,
+        torn_tail,
+        segments,
+    })
+}
+
+/// Cumulative appender statistics; see [`Wal::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// `sync_data` calls issued on segment files carrying record bytes —
+    /// the price group commit amortizes.
+    pub fsyncs: u64,
+    /// Records made durable.
+    pub flushed_records: u64,
+    /// Segment rotations performed by this handle.
+    pub rotations: u64,
+}
+
+struct WalQueue {
     next_lsn: u64,
-    /// Fault injection: abort after durably writing this LSN.
-    crash_at: Option<u64>,
-    /// Fault injection: make the crash record a torn (partial) write.
-    crash_torn: bool,
+    /// Records with `lsn < durable_lsn` are fsynced.
+    durable_lsn: u64,
+    /// Encoded frames awaiting flush, in LSN order.
+    pending: Vec<(u64, Vec<u8>)>,
+    /// A flush leader is between "drained the queue" and "reported
+    /// results"; exactly one at a time.
+    flushing: bool,
+    /// Sticky error from a failed flush: the durable frontier is unknown,
+    /// so every subsequent append fails too.
+    poisoned: Option<String>,
+    stats: WalStats,
+    /// Flush batch sizes since the last [`Wal::drain_group_sizes`] call
+    /// (feeds the `wal/group_size` histogram).
+    group_sizes: Vec<u64>,
+}
+
+struct WalIo {
+    file: File,
+    seg_bytes: u64,
+    /// Live segments, oldest first; the last one is being appended to.
+    segments: Vec<SegmentInfo>,
+    /// Rotations performed by this handle (drives `ITG_CRASH_ROTATION`).
+    rotations_seen: u64,
+}
+
+struct WalInner {
+    dir: PathBuf,
+    opts: WalOptions,
+    crash: CrashPlan,
+    queue: Mutex<WalQueue>,
+    /// Separate from `queue` so committers can keep enqueuing while the
+    /// leader holds the file through a flush.
+    io: Mutex<WalIo>,
+    flushed: Condvar,
+}
+
+/// Thread-safe appender handle over a segmented WAL directory. Cloning is
+/// cheap and shares the underlying log (the group-commit tests hand one
+/// clone to each committer thread).
+#[derive(Clone)]
+pub struct Wal {
+    inner: Arc<WalInner>,
 }
 
 impl std::fmt::Debug for Wal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Wal")
-            .field("path", &self.path)
-            .field("next_lsn", &self.next_lsn)
+            .field("dir", &self.inner.dir)
+            .field("next_lsn", &self.next_lsn())
             .finish()
     }
 }
 
 impl Wal {
-    /// Open (or create) the WAL at `dir/wal.log` for appending, truncating
-    /// any torn tail left by a previous crash so new frames never land
-    /// after garbage. Returns the appender plus the scan of the existing
-    /// valid prefix.
+    /// [`Wal::open_with`] using [`WalOptions::from_env`].
     pub fn open(dir: &Path) -> Result<(Wal, WalScan), WalError> {
+        Wal::open_with(dir, WalOptions::from_env())
+    }
+
+    /// Open (or create) the segmented WAL in `dir` for appending:
+    /// migrate a legacy `wal.log`, scan and validate every segment,
+    /// truncate a torn tail in the newest one so new frames never land
+    /// after garbage, and return the appender plus the scan of the valid
+    /// history.
+    pub fn open_with(dir: &Path, opts: WalOptions) -> Result<(Wal, WalScan), WalError> {
         std::fs::create_dir_all(dir)?;
-        let path = dir.join(WAL_FILE);
-        let scan = scan(&path)?;
+        let legacy = dir.join(WAL_FILE);
+        if legacy.exists() {
+            let target = dir.join(segment_file_name(0));
+            if target.exists() {
+                return Err(WalError::Segment(format!(
+                    "both the legacy {WAL_FILE} and {} exist",
+                    segment_file_name(0)
+                )));
+            }
+            std::fs::rename(&legacy, &target)?;
+            sync_dir(dir)?;
+        }
+        let scan = scan_dir(dir)?;
+        let mut segments = scan.segments.clone();
+        let (live_name, live_valid) = match segments.last() {
+            Some(s) => (s.file.clone(), s.bytes),
+            None => {
+                let name = segment_file_name(0);
+                segments.push(SegmentInfo {
+                    start_lsn: 0,
+                    file: name.clone(),
+                    bytes: 0,
+                    records: 0,
+                });
+                (name, 0)
+            }
+        };
+        let created = scan.segments.is_empty();
         let file = OpenOptions::new()
             .create(true)
             .append(true)
-            .open(&path)?;
+            .open(dir.join(&live_name))?;
+        if created {
+            file.sync_all()?;
+            sync_dir(dir)?;
+        }
         if scan.torn_tail {
-            file.set_len(scan.valid_bytes)?;
+            file.set_len(live_valid)?;
             file.sync_data()?;
         }
-        let crash_at = std::env::var("ITG_CRASH_AT")
-            .ok()
-            .and_then(|v| v.parse::<u64>().ok());
-        let crash_torn = std::env::var("ITG_CRASH_TORN").is_ok_and(|v| v == "1");
+        let next_lsn = scan.next_lsn();
         let wal = Wal {
-            file,
-            path,
-            next_lsn: scan.next_lsn(),
-            crash_at,
-            crash_torn,
+            inner: Arc::new(WalInner {
+                dir: dir.to_path_buf(),
+                opts,
+                crash: CrashPlan::from_env(),
+                queue: Mutex::new(WalQueue {
+                    next_lsn,
+                    durable_lsn: next_lsn,
+                    pending: Vec::new(),
+                    flushing: false,
+                    poisoned: None,
+                    stats: WalStats::default(),
+                    group_sizes: Vec::new(),
+                }),
+                io: Mutex::new(WalIo {
+                    file,
+                    seg_bytes: live_valid,
+                    segments,
+                    rotations_seen: 0,
+                }),
+                flushed: Condvar::new(),
+            }),
         };
         Ok((wal, scan))
     }
 
     /// The LSN the next [`Wal::append`] will assign.
     pub fn next_lsn(&self) -> u64 {
-        self.next_lsn
+        self.inner.queue.lock().unwrap().next_lsn
     }
 
-    /// The WAL file path.
-    pub fn path(&self) -> &Path {
-        &self.path
+    /// The WAL directory.
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
     }
 
-    /// Append one entry, fsync it, and return its LSN. This is the
-    /// log-before-execute point: callers must not mutate state until this
-    /// returns.
-    pub fn append(&mut self, entry: &WalEntry) -> Result<u64, WalError> {
-        let lsn = self.next_lsn;
+    /// Cumulative fsync/record/rotation counts.
+    pub fn stats(&self) -> WalStats {
+        self.inner.queue.lock().unwrap().stats
+    }
+
+    /// Drain the flush batch sizes recorded since the last call (one
+    /// entry per group fsync; feeds the `wal/group_size` histogram).
+    pub fn drain_group_sizes(&self) -> Vec<u64> {
+        std::mem::take(&mut self.inner.queue.lock().unwrap().group_sizes)
+    }
+
+    /// The live segment file names, oldest first.
+    pub fn segment_files(&self) -> Vec<String> {
+        self.inner
+            .io
+            .lock()
+            .unwrap()
+            .segments
+            .iter()
+            .map(|s| s.file.clone())
+            .collect()
+    }
+
+    /// Unlink every segment whose records all have `lsn < keep_from`
+    /// (i.e. whose successor segment starts at or before `keep_from`).
+    /// The live segment is never removed. Returns the removed file names.
+    /// Callers must only pass a `keep_from` covered by a durably
+    /// committed snapshot — the manifest write is the commit point.
+    pub fn gc_below(&self, keep_from: u64) -> Result<Vec<String>, WalError> {
+        let mut io = self.inner.io.lock().unwrap();
+        let mut removed = Vec::new();
+        while io.segments.len() > 1 && io.segments[1].start_lsn <= keep_from {
+            let seg = io.segments.remove(0);
+            std::fs::remove_file(self.inner.dir.join(&seg.file))?;
+            removed.push(seg.file);
+        }
+        if !removed.is_empty() {
+            sync_dir(&self.inner.dir)?;
+        }
+        Ok(removed)
+    }
+
+    /// Append one entry and return its LSN once it is durable. This is
+    /// the log-before-execute point: callers must not mutate state until
+    /// this returns. Thread-safe; concurrent appends coalesce into group
+    /// fsyncs (see the module docs).
+    pub fn append(&self, entry: &WalEntry) -> Result<u64, WalError> {
+        let inner = &*self.inner;
+        let mut q = inner.queue.lock().unwrap();
+        if let Some(msg) = &q.poisoned {
+            return Err(WalError::Poisoned(msg.clone()));
+        }
+        let lsn = q.next_lsn;
+        q.next_lsn += 1;
         let frame = encode_record(lsn, entry);
-        if self.crash_at == Some(lsn) && self.crash_torn {
-            // Simulate dying mid-write: half a frame, then the end.
-            let half = frame.len() / 2;
-            self.file.write_all(&frame[..half])?;
-            self.file.sync_data()?;
-            std::process::abort();
+        q.pending.push((lsn, frame));
+        loop {
+            if q.durable_lsn > lsn {
+                return Ok(lsn);
+            }
+            if let Some(msg) = &q.poisoned {
+                return Err(WalError::Poisoned(msg.clone()));
+            }
+            if !q.flushing {
+                // Become the flush leader for everything queued so far
+                // (our own record included — it was pushed above).
+                q.flushing = true;
+                drop(q);
+                if inner.opts.group_commit_us > 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(
+                        inner.opts.group_commit_us,
+                    ));
+                }
+                let batch = std::mem::take(&mut inner.queue.lock().unwrap().pending);
+                let flush_res = {
+                    let mut io = inner.io.lock().unwrap();
+                    self.flush(&mut io, &batch)
+                };
+                let mut q = inner.queue.lock().unwrap();
+                q.flushing = false;
+                let result = match flush_res {
+                    Ok((fsyncs, rotations)) => {
+                        q.durable_lsn = batch.last().expect("leader flushes >= 1 record").0 + 1;
+                        q.stats.fsyncs += fsyncs;
+                        q.stats.rotations += rotations;
+                        q.stats.flushed_records += batch.len() as u64;
+                        q.group_sizes.push(batch.len() as u64);
+                        Ok(lsn)
+                    }
+                    Err(e) => {
+                        let msg = e.to_string();
+                        q.poisoned = Some(msg.clone());
+                        Err(WalError::Poisoned(msg))
+                    }
+                };
+                drop(q);
+                inner.flushed.notify_all();
+                return result;
+            }
+            q = inner.flushed.wait(q).unwrap();
         }
-        self.file.write_all(&frame)?;
-        self.file.sync_data()?;
-        if self.crash_at == Some(lsn) {
-            std::process::abort();
+    }
+
+    /// Leader-only: write `batch` (rotating as needed) and fsync once at
+    /// the end. Returns `(fsyncs, rotations)` performed.
+    fn flush(&self, io: &mut WalIo, batch: &[(u64, Vec<u8>)]) -> Result<(u64, u64), WalError> {
+        let inner = &*self.inner;
+        let mut fsyncs = 0u64;
+        let mut rotations = 0u64;
+        for (lsn, frame) in batch {
+            if io.seg_bytes > 0 && io.seg_bytes + frame.len() as u64 > inner.opts.segment_bytes
+            {
+                // Rotate: seal the live segment, create the next one, and
+                // fsync the directory entry before any record lands in it.
+                io.file.sync_data()?;
+                fsyncs += 1;
+                io.rotations_seen += 1;
+                rotations += 1;
+                let name = segment_file_name(*lsn);
+                let f = OpenOptions::new()
+                    .create_new(true)
+                    .append(true)
+                    .open(inner.dir.join(&name))?;
+                if inner.crash.at_rotation == Some(io.rotations_seen) {
+                    // Die between creating the segment file and fsyncing
+                    // its directory entry: recovery must tolerate an
+                    // empty — or vanished — trailing segment.
+                    std::process::abort();
+                }
+                f.sync_all()?;
+                sync_dir(&inner.dir)?;
+                io.file = f;
+                io.seg_bytes = 0;
+                io.segments.push(SegmentInfo {
+                    start_lsn: *lsn,
+                    file: name,
+                    bytes: 0,
+                    records: 0,
+                });
+            }
+            if inner.crash.at == Some(*lsn) && inner.crash.torn {
+                // Simulate dying mid-write: half a frame, then the end.
+                let half = frame.len() / 2;
+                let _ = io.file.write_all(&frame[..half]);
+                let _ = io.file.sync_data();
+                std::process::abort();
+            }
+            io.file.write_all(frame)?;
+            io.seg_bytes += frame.len() as u64;
+            let live = io.segments.last_mut().expect("live segment exists");
+            live.bytes += frame.len() as u64;
+            live.records += 1;
+            if inner.crash.at == Some(*lsn) {
+                // Record `lsn` durable (fsync included), then abort —
+                // mid-group, so earlier records in this flush are durable
+                // and later ones are lost, whether or not their
+                // committers were acknowledged.
+                let _ = io.file.sync_data();
+                std::process::abort();
+            }
         }
-        self.next_lsn = lsn + 1;
-        Ok(lsn)
+        io.file.sync_data()?;
+        fsyncs += 1;
+        Ok((fsyncs, rotations))
     }
 }
 
@@ -354,6 +855,12 @@ mod tests {
         out
     }
 
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("itg-wal-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn roundtrip_all_entry_kinds() {
         let entries = sample_entries();
@@ -371,8 +878,8 @@ mod tests {
     fn torn_tail_is_tolerated_at_every_cut() {
         let entries = sample_entries();
         let full = image(&entries);
-        let last_frame = encode_record(4, &entries[4]);
-        let body_end = full.len() - last_frame.len();
+        let last_frame = encode_record(4, &entries[4]).len();
+        let body_end = full.len() - last_frame;
         for cut in body_end + 1..full.len() {
             let scan = scan_bytes(&full[..cut]).unwrap();
             assert!(scan.torn_tail, "cut at {cut} should be torn");
@@ -409,10 +916,9 @@ mod tests {
 
     #[test]
     fn appender_resumes_after_torn_tail() {
-        let dir = std::env::temp_dir().join(format!("itg-wal-test-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = tmp_dir("resume");
         {
-            let (mut wal, scan) = Wal::open(&dir).unwrap();
+            let (wal, scan) = Wal::open(&dir).unwrap();
             assert_eq!(scan.records.len(), 0);
             assert_eq!(wal.append(&WalEntry::OneshotRun).unwrap(), 0);
             assert_eq!(wal.append(&WalEntry::IncrementalRun).unwrap(), 1);
@@ -421,18 +927,118 @@ mod tests {
         {
             let mut f = OpenOptions::new()
                 .append(true)
-                .open(dir.join(WAL_FILE))
+                .open(dir.join(segment_file_name(0)))
                 .unwrap();
             f.write_all(&[0x30, 0, 0, 0, 0xAA]).unwrap();
         }
-        let (mut wal, scan) = Wal::open(&dir).unwrap();
+        let (wal, scan) = Wal::open(&dir).unwrap();
         assert!(scan.torn_tail);
         assert_eq!(scan.records.len(), 2);
         assert_eq!(wal.next_lsn(), 2);
         assert_eq!(wal.append(&WalEntry::Compact).unwrap(), 2);
-        let rescan = scan_bytes(&std::fs::read(dir.join(WAL_FILE)).unwrap()).unwrap();
+        let rescan = scan_dir(&dir).unwrap();
         assert!(!rescan.torn_tail);
         assert_eq!(rescan.records.len(), 3);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_scan_reassembles() {
+        let dir = tmp_dir("rotate");
+        let opts = WalOptions {
+            segment_bytes: 48,
+            group_commit_us: 0,
+        };
+        let entries = sample_entries();
+        {
+            let (wal, _) = Wal::open_with(&dir, opts.clone()).unwrap();
+            for e in &entries {
+                wal.append(e).unwrap();
+            }
+            assert!(wal.stats().rotations >= 1, "tiny segments must rotate");
+            assert_eq!(wal.segment_files().len() as u64, wal.stats().rotations + 1);
+        }
+        let scan = scan_dir(&dir).unwrap();
+        assert!(scan.segments.len() > 1);
+        assert_eq!(scan.records.len(), entries.len());
+        for (i, rec) in scan.records.iter().enumerate() {
+            assert_eq!(rec.lsn, i as u64);
+            assert_eq!(&rec.entry, &entries[i]);
+        }
+        // Reopen resumes in the newest segment.
+        let (wal, scan) = Wal::open_with(&dir, opts).unwrap();
+        assert_eq!(scan.next_lsn(), entries.len() as u64);
+        assert_eq!(wal.append(&WalEntry::Compact).unwrap(), entries.len() as u64);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_below_unlinks_covered_segments_only() {
+        let dir = tmp_dir("gc");
+        let opts = WalOptions {
+            segment_bytes: 1, // every record gets its own segment
+            group_commit_us: 0,
+        };
+        let (wal, _) = Wal::open_with(&dir, opts).unwrap();
+        for _ in 0..5 {
+            wal.append(&WalEntry::IncrementalRun).unwrap();
+        }
+        assert_eq!(wal.segment_files().len(), 5);
+        let removed = wal.gc_below(3).unwrap();
+        assert_eq!(removed.len(), 3, "segments for lsns 0,1,2 are covered");
+        let scan = scan_dir(&dir).unwrap();
+        assert_eq!(scan.base_lsn, 3);
+        assert_eq!(scan.next_lsn(), 5);
+        assert_eq!(
+            scan.records.iter().map(|r| r.lsn).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        // The live segment survives even when fully covered.
+        let removed = wal.gc_below(u64::MAX).unwrap();
+        assert_eq!(removed.len(), 1);
+        assert_eq!(wal.segment_files().len(), 1);
+        // Appends continue after GC.
+        assert_eq!(wal.append(&WalEntry::Compact).unwrap(), 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_single_file_layout_migrates_on_open() {
+        let dir = tmp_dir("legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        let entries = sample_entries();
+        std::fs::write(dir.join(WAL_FILE), image(&entries)).unwrap();
+        let (wal, scan) = Wal::open(&dir).unwrap();
+        assert_eq!(scan.records.len(), entries.len());
+        assert!(!dir.join(WAL_FILE).exists(), "legacy file renamed");
+        assert!(dir.join(segment_file_name(0)).exists());
+        assert_eq!(wal.append(&WalEntry::Compact).unwrap(), entries.len() as u64);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segment_name_roundtrip() {
+        assert_eq!(segment_file_name(0), "wal-00000000000000000000.log");
+        assert_eq!(parse_segment_name(&segment_file_name(7)), Some(7));
+        assert_eq!(parse_segment_name(&segment_file_name(u64::MAX)), Some(u64::MAX));
+        assert_eq!(parse_segment_name("wal.log"), None);
+        assert_eq!(parse_segment_name("wal-123.log"), None, "unpadded");
+        assert_eq!(parse_segment_name("snapshot-0.bin"), None);
+    }
+
+    #[test]
+    fn wal_options_env_parsing_falls_back_on_garbage() {
+        let o = WalOptions::from_env_lookup(|k| match k {
+            "ITG_WAL_SEGMENT_BYTES" => Some(" 4096 ".into()),
+            "ITG_GROUP_COMMIT_US" => Some("250".into()),
+            _ => None,
+        });
+        assert_eq!(o.segment_bytes, 4096);
+        assert_eq!(o.group_commit_us, 250);
+        let junk = WalOptions::from_env_lookup(|k| {
+            (k == "ITG_WAL_SEGMENT_BYTES").then(|| "huge".into())
+        });
+        assert_eq!(junk.segment_bytes, DEFAULT_SEGMENT_BYTES);
+        assert_eq!(junk.group_commit_us, 0);
     }
 }
